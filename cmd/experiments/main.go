@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's tables, figures and
+// ablations (see DESIGN.md §5 for the experiment index).
+//
+// Usage:
+//
+//	experiments [flags] [id ...]
+//
+// With no IDs it runs everything in canonical order. Valid IDs:
+// table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 a1 a2 a3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", strings.Join(exp.DefaultBenchmarks, ","),
+			"comma-separated suite circuits for the per-benchmark experiments")
+		tmaxFactor = flag.Float64("tmax-factor", 1.3, "delay constraint as a multiple of Dmin")
+		samples    = flag.Int("samples", 2000, "Monte Carlo samples per evaluation")
+		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ctx := exp.NewContext(os.Stdout)
+	ctx.TmaxFactor = *tmaxFactor
+	ctx.MCSamples = *samples
+	ctx.Seed = *seed
+	if *benchmarks != "" {
+		ctx.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		if err := ctx.RunAll(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, id := range ids {
+		if err := ctx.Run(id); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

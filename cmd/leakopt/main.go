@@ -1,0 +1,185 @@
+// Command leakopt runs the statistical (and optionally the
+// deterministic baseline) leakage optimizer on one circuit and prints
+// a before/after scoreboard.
+//
+// Usage:
+//
+//	leakopt -circuit s880                 # synthetic suite circuit
+//	leakopt -bench path/to/c432.bench     # real ISCAS85 netlist file
+//	leakopt -bench path/to/design.v       # structural Verilog (by extension)
+//	leakopt -circuit s880 -mode both -tmax-factor 1.25 -samples 3000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/libfile"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/opt"
+	"repro/internal/ssta"
+	"repro/internal/tech"
+	"repro/internal/variation"
+	"repro/internal/verilog"
+)
+
+func main() {
+	var (
+		circuit    = flag.String("circuit", "", "synthetic suite circuit name (s432 … s7552, q344 … q5378)")
+		benchFile  = flag.String("bench", "", "path to a .bench netlist file")
+		preset     = flag.String("preset", "100nm", "technology preset: 130nm, 100nm, 70nm")
+		techFile   = flag.String("tech", "", "path to a technology file overriding the preset (see internal/libfile)")
+		mode       = flag.String("mode", "both", "optimizer: det, stat, or both")
+		tmaxFactor = flag.Float64("tmax-factor", 1.3, "delay constraint as a multiple of Dmin")
+		yieldTgt   = flag.Float64("yield", 0.99, "timing-yield target for the statistical optimizer")
+		pctile     = flag.Float64("percentile", 0.99, "leakage percentile objective")
+		samples    = flag.Int("samples", 2000, "Monte Carlo samples for the final scoreboard (0 = skip MC)")
+		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuit, *benchFile)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := tech.Preset(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := loadLibrary(p, *techFile)
+	if err != nil {
+		fatal(err)
+	}
+	p = lib.P
+	vm, err := variation.New(variation.Default(p.LeffNom))
+	if err != nil {
+		fatal(err)
+	}
+	d, err := core.NewDesign(c, lib, vm)
+	if err != nil {
+		fatal(err)
+	}
+
+	ref := d.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		fatal(err)
+	}
+	o := opt.DefaultOptions(*tmaxFactor * dmin)
+	o.YieldTarget = *yieldTgt
+	o.LeakPercentile = *pctile
+
+	st, _ := c.ComputeStats()
+	fmt.Printf("circuit %s: %d gates, %d PIs, %d POs, depth %d\n",
+		c.Name, st.Gates, st.Inputs, st.Outputs, st.Depth)
+	fmt.Printf("Dmin = %.1f ps, Tmax = %.1f ps, yield target = %.2f, objective = q%g leakage\n\n",
+		dmin, o.TmaxPs, o.YieldTarget, 100*(*pctile))
+
+	printState("unoptimized (min-size, all LVT)", d, o, *samples, *seed)
+
+	if *mode == "det" || *mode == "both" {
+		det := d.Clone()
+		res, err := opt.Deterministic(det, o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deterministic (corner %.1fσ): %d moves (%d ups, %d swaps, %d downs), feasible=%v, %.2fs\n",
+			o.CornerSigma, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
+			res.Feasible, res.Runtime.Seconds())
+		printState("deterministic result", det, o, *samples, *seed)
+	}
+	if *mode == "stat" || *mode == "both" {
+		stat := d.Clone()
+		res, err := opt.Statistical(stat, o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("statistical (yield ≥ %.2f): %d moves (%d ups, %d swaps, %d downs), feasible=%v, %.2fs\n",
+			o.YieldTarget, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
+			res.Feasible, res.Runtime.Seconds())
+		printState("statistical result", stat, o, *samples, *seed)
+	}
+}
+
+// loadLibrary applies an optional technology file over the preset.
+func loadLibrary(p *tech.Params, techPath string) (*tech.Library, error) {
+	if techPath == "" {
+		return tech.NewLibrary(p)
+	}
+	f, err := os.Open(techPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tf, err := libfile.Parse(f, p)
+	if err != nil {
+		return nil, err
+	}
+	return tf.Library()
+}
+
+func loadCircuit(suiteName, path string) (*logic.Circuit, error) {
+	switch {
+	case suiteName != "" && path != "":
+		return nil, fmt.Errorf("leakopt: use -circuit or -bench, not both")
+	case suiteName != "":
+		if cfg, err := bench.SuiteConfig(suiteName); err == nil {
+			return bench.Generate(cfg)
+		}
+		cfg, err := bench.SeqSuiteConfig(suiteName)
+		if err != nil {
+			return nil, err
+		}
+		return bench.GenerateSeq(cfg)
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(path, ".v") || strings.HasSuffix(path, ".sv") {
+			return verilog.Parse(f)
+		}
+		return bench.Parse(path, f)
+	default:
+		return nil, fmt.Errorf("leakopt: need -circuit or -bench (see -h)")
+	}
+}
+
+func printState(label string, d *core.Design, o opt.Options, samples int, seed int64) {
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		fatal(err)
+	}
+	an, err := leakage.Exact(d)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %s:\n", label)
+	fmt.Printf("    delay: mean %.1f ps, sigma %.1f ps, q99 %.1f ps, yield(Tmax) %.4f\n",
+		sr.Delay.Mean, sr.Delay.Sigma(), sr.Quantile(0.99), sr.Yield(o.TmaxPs))
+	fmt.Printf("    leakage: nominal %.0f nW, mean %.0f nW, q%.0f %.0f nW\n",
+		d.TotalLeak(), an.MeanNW, 100*o.LeakPercentile, an.Quantile(o.LeakPercentile))
+	fmt.Printf("    assignment: %d/%d HVT, avg size %.2f\n",
+		d.CountHVT(), d.Circuit.NumGates(), d.AvgSize())
+	if samples > 0 {
+		mc, err := montecarlo.Run(d, montecarlo.Config{Samples: samples, Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("    MC (%d dies): yield(Tmax) %.4f, leak mean %.0f nW, leak q99 %.0f nW\n",
+			samples, mc.TimingYield(o.TmaxPs), mc.LeakSummary().Mean, mc.LeakQuantile(0.99))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leakopt:", err)
+	os.Exit(1)
+}

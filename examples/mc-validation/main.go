@@ -1,0 +1,121 @@
+// Monte Carlo validation: compare the analytic engines (SSTA delay
+// distribution, lognormal-matched leakage distribution) against brute
+// force on one circuit — the Table-4 experiment as a program, with a
+// small text histogram so the lognormal skew is visible.
+//
+//	go run ./examples/mc-validation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/montecarlo"
+	"repro/internal/ssta"
+	"repro/internal/stats"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+func main() {
+	const circuit = "s1355"
+	const samples = 5000
+
+	cfg, err := bench.SuiteConfig(circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := bench.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := tech.Default100nm()
+	lib, err := tech.NewLibrary(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := variation.New(variation.Default(params.LeffNom))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := core.NewDesign(c, lib, vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Now()
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := leakage.Exact(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analytic := time.Since(t0)
+
+	t1 := time.Now()
+	mc, err := montecarlo.Run(d, montecarlo.Config{Samples: samples, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcTime := time.Since(t1)
+
+	ds := mc.DelaySummary()
+	ls := mc.LeakSummary()
+	fmt.Printf("%s, %d gates, %d MC samples\n\n", circuit, c.NumGates(), samples)
+	fmt.Printf("%-22s %-12s %-12s %-8s\n", "metric", "analytic", "MC", "error")
+	row := func(name string, a, m float64) {
+		fmt.Printf("%-22s %-12.1f %-12.1f %+.1f%%\n", name, a, m, 100*(a-m)/m)
+	}
+	row("delay mean [ps]", sr.Delay.Mean, ds.Mean)
+	row("delay sigma [ps]", sr.Delay.Sigma(), ds.StdDev)
+	row("delay q99 [ps]", sr.Quantile(0.99), mc.DelayQuantile(0.99))
+	row("leak mean [nW]", an.MeanNW, ls.Mean)
+	row("leak sigma [nW]", an.StdNW, ls.StdDev)
+	row("leak median [nW]", an.Quantile(0.5), mc.LeakQuantile(0.5))
+	row("leak q99 [nW]", an.Quantile(0.99), mc.LeakQuantile(0.99))
+	fmt.Printf("\nruntime: analytic %.1f ms, MC %.0f ms (%.0fx)\n\n",
+		float64(analytic.Microseconds())/1000, float64(mcTime.Microseconds())/1000,
+		float64(mcTime)/float64(analytic))
+
+	// Text histogram of the leakage samples with the lognormal fit.
+	fmt.Println("total leakage distribution (MC '#' vs lognormal fit '·'):")
+	hist, err := stats.NewHistogram(ls.Min*0.98, ls.P99*1.25, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist.AddAll(mc.LeaksNW)
+	maxD := 0.0
+	for i := range hist.Counts {
+		if v := hist.Density(i); v > maxD {
+			maxD = v
+		}
+	}
+	for i := range hist.Counts {
+		x := hist.BinCenter(i)
+		mcBar := int(hist.Density(i) / maxD * 50)
+		fit := lognormalDensity(an, x) / maxD * 50
+		line := []rune(strings.Repeat("#", mcBar) + strings.Repeat(" ", 55-mcBar))
+		if f := int(fit); f >= 0 && f < len(line) {
+			line[f] = '·'
+		}
+		fmt.Printf("%8.0f nW |%s\n", x, string(line))
+	}
+}
+
+func lognormalDensity(an *leakage.Analysis, x float64) float64 {
+	if x <= an.GateLeakNW {
+		return 0
+	}
+	z := x - an.GateLeakNW
+	lf := an.Fit
+	u := (math.Log(z) - lf.Mu) / lf.Sigma
+	return stats.NormalPDF(u) / (z * lf.Sigma)
+}

@@ -1,0 +1,178 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/libfile"
+	"repro/internal/montecarlo"
+	"repro/internal/opt"
+	"repro/internal/ssta"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+// TestFullPipelineCombinational drives the complete flow a user would
+// run: generate a benchmark, round-trip it through the .bench file
+// format on disk, bind it to a technology loaded from a tech file,
+// optimize statistically, and verify the shipped claims with Monte
+// Carlo.
+func TestFullPipelineCombinational(t *testing.T) {
+	dir := t.TempDir()
+
+	// 1. Generate and persist the netlist.
+	cfg, err := bench.SuiteConfig("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := bench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s432.bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Write(f, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Parse it back from disk.
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := bench.Parse("s432", rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != gen.NumGates() {
+		t.Fatalf("file round trip changed gate count: %d vs %d", c.NumGates(), gen.NumGates())
+	}
+
+	// 3. Technology from a tech file (overriding the 100nm preset).
+	techSrc := "technology integration-test\nvth_high 0.34\n"
+	tf, err := libfile.Parse(strings.NewReader(techSrc), tech.Default100nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := tf.Library()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := variation.New(variation.Default(lib.P.LeffNom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDesign(c, lib, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Optimize.
+	ref := d.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.DefaultOptions(1.3 * dmin)
+	res, err := opt.Statistical(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("optimization infeasible: %+v", res)
+	}
+
+	// 5. Verify the claims with the golden evaluator.
+	mc, err := montecarlo.Run(d, montecarlo.Config{Samples: 1500, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := mc.TimingYield(o.TmaxPs); y < o.YieldTarget-0.03 {
+		t.Errorf("MC yield %g violates the shipped claim (target %g)", y, o.YieldTarget)
+	}
+	an, err := leakage.Exact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcQ := mc.LeakQuantile(0.99)
+	if rel := (an.Quantile(0.99) - mcQ) / mcQ; rel > 0.15 || rel < -0.15 {
+		t.Errorf("analytic q99 %g vs MC %g (%.1f%%)", an.Quantile(0.99), mcQ, rel*100)
+	}
+}
+
+// TestFullPipelineSequential runs the same end-to-end flow on a
+// sequential circuit, through the file format, with the clock-period
+// constraint.
+func TestFullPipelineSequential(t *testing.T) {
+	scfg, err := bench.SeqSuiteConfig("q344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := bench.GenerateSeq(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bench.Write(&buf, gen); err != nil {
+		t.Fatal(err)
+	}
+	c, err := bench.ParseString("q344", buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDffs() != gen.NumDffs() {
+		t.Fatalf("round trip changed FF count: %d vs %d", c.NumDffs(), gen.NumDffs())
+	}
+	lib, err := tech.NewLibrary(tech.Default100nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := variation.New(variation.Default(lib.P.LeffNom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDesign(c, lib, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := d.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.DefaultOptions(1.3 * dmin)
+	res, err := opt.Statistical(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("sequential optimization infeasible: yield %g", res.YieldAtTmax)
+	}
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := sr.Yield(o.TmaxPs); y < o.YieldTarget-1e-9 {
+		t.Errorf("SSTA yield %g below target after optimization", y)
+	}
+	mc, err := montecarlo.Run(d, montecarlo.Config{Samples: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := mc.TimingYield(o.TmaxPs); y < o.YieldTarget-0.03 {
+		t.Errorf("MC clock-period yield %g far below target", y)
+	}
+}

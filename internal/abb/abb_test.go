@@ -1,0 +1,178 @@
+package abb_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/abb"
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/opt"
+	"repro/internal/ssta"
+)
+
+func prepared(t testing.TB) (*core.Design, float64) {
+	t.Helper()
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A constraint around the 90th percentile leaves both fast dies to
+	// de-leak and slow dies to rescue.
+	return d, sr.Quantile(0.90)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := abb.DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*abb.Config){
+		func(c *abb.Config) { c.GammaBB = 0 },
+		func(c *abb.Config) { c.MaxForwardV = -1 },
+		func(c *abb.Config) { c.MaxReverseV = -1 },
+		func(c *abb.Config) { c.Steps = 2 },
+	}
+	for i, mod := range bad {
+		c := abb.DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	d, tmax := prepared(t)
+	if _, err := abb.Run(d, abb.DefaultConfig(), tmax, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	bad := abb.DefaultConfig()
+	bad.GammaBB = 0
+	if _, err := abb.Run(d, bad, tmax, 10, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestABBImprovesYieldAndTightensLeakage(t *testing.T) {
+	d, tmax := prepared(t)
+	res, err := abb.Run(d, abb.DefaultConfig(), tmax, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := res.YieldNoBias(tmax)
+	y1 := res.YieldBiased()
+	// Unbiased yield is ~90% by construction; forward bias must rescue
+	// a large share of the slow dies.
+	if y0 < 0.80 || y0 > 0.97 {
+		t.Fatalf("unbiased yield %g outside the test's design point", y0)
+	}
+	if y1 <= y0 {
+		t.Errorf("ABB did not improve yield: %g -> %g", y0, y1)
+	}
+	if y1 < 0.99 {
+		t.Errorf("biased yield %g; forward bias should rescue nearly all dies", y1)
+	}
+	// Leakage across dies tightens and its mean drops (fast leaky dies
+	// get reverse-biased).
+	nb, b := res.LeakSummaries()
+	if b.Mean >= nb.Mean {
+		t.Errorf("ABB did not cut mean leakage: %g -> %g", nb.Mean, b.Mean)
+	}
+	if b.P99 >= nb.P99 {
+		t.Errorf("ABB did not cut the leakage tail: %g -> %g", nb.P99, b.P99)
+	}
+	if b.StdDev >= nb.StdDev {
+		t.Errorf("ABB did not tighten the leakage spread: σ %g -> %g", nb.StdDev, b.StdDev)
+	}
+}
+
+func TestPerDiePolicyInvariants(t *testing.T) {
+	d, tmax := prepared(t)
+	cfg := abb.DefaultConfig()
+	res, err := abb.Run(d, cfg, tmax, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, die := range res.Dies {
+		if die.BiasV < -cfg.MaxForwardV-1e-12 || die.BiasV > cfg.MaxReverseV+1e-12 {
+			t.Fatalf("die %d bias %g outside range", i, die.BiasV)
+		}
+		if die.Met && die.DelayBiased > tmax+1e-9 {
+			t.Fatalf("die %d marked met with delay %g > %g", i, die.DelayBiased, tmax)
+		}
+		if !die.Met && die.BiasV != -cfg.MaxForwardV {
+			t.Fatalf("die %d failed without exhausting forward bias", i)
+		}
+		// Reverse bias slows and de-leaks; forward bias does the
+		// opposite — per die.
+		if die.BiasV > 1e-9 {
+			if die.DelayBiased < die.DelayNoBias || die.LeakBiased > die.LeakNoBias {
+				t.Fatalf("die %d reverse bias moved metrics the wrong way", i)
+			}
+		}
+		if die.BiasV < -1e-9 {
+			if die.DelayBiased > die.DelayNoBias || die.LeakBiased < die.LeakNoBias {
+				t.Fatalf("die %d forward bias moved metrics the wrong way", i)
+			}
+		}
+	}
+}
+
+func TestABBDeterministic(t *testing.T) {
+	d, tmax := prepared(t)
+	a, err := abb.Run(d, abb.DefaultConfig(), tmax, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := abb.Run(d, abb.DefaultConfig(), tmax, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Dies {
+		if a.Dies[i] != b.Dies[i] {
+			t.Fatalf("die %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestABBComposesWithStatisticalOptimizer(t *testing.T) {
+	// ABB applied on top of the statistically optimized design must
+	// keep (or improve) the design's yield at Tmax while cutting the
+	// across-die mean leakage further.
+	base, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := base.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.DefaultOptions(1.3 * dmin)
+	st := base.Clone()
+	sres, err := opt.Statistical(st, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Feasible {
+		t.Fatal("statistical optimization infeasible")
+	}
+	res, err := abb.Run(st, abb.DefaultConfig(), o.TmaxPs, 400, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := res.YieldBiased(); y < res.YieldNoBias(o.TmaxPs) {
+		t.Errorf("ABB reduced yield: %g -> %g", res.YieldNoBias(o.TmaxPs), y)
+	}
+	nb, b := res.LeakSummaries()
+	if b.Mean >= nb.Mean {
+		t.Errorf("ABB on optimized design did not cut mean leakage: %g -> %g", nb.Mean, b.Mean)
+	}
+	if math.IsNaN(b.Mean) {
+		t.Fatal("NaN leakage")
+	}
+}

@@ -1,0 +1,314 @@
+// Package bench reads and writes gate-level netlists in the ISCAS85
+// ".bench" format and generates synthetic benchmark circuits with
+// ISCAS85-like structural statistics.
+//
+// The real ISCAS85 netlists are not distributable with this repository;
+// the Parse function accepts them unchanged if the user supplies the
+// files, while Generate produces seeded synthetic stand-ins whose gate
+// count, depth, fanin mix and reconvergent fanout match the classic
+// suite closely enough for the optimization experiments (see DESIGN.md
+// §3 for the substitution rationale).
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Parse reads a netlist in ISCAS85 .bench syntax:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G22)
+//	G10 = NAND(G1, G3)
+//	G22 = NOT(G10)
+//
+// Gate lines may appear before the lines defining their operands
+// (the format does not require topological order), so parsing is
+// two-pass. Outputs must name defined signals.
+func Parse(name string, r io.Reader) (*logic.Circuit, error) {
+	type gateLine struct {
+		name string
+		fn   string
+		args []string
+		line int
+	}
+	var (
+		inputs    []string
+		outputs   []string
+		gateLines []gateLine
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case hasPrefixFold(line, "INPUT"):
+			arg, err := parenArg(line, "INPUT")
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case hasPrefixFold(line, "OUTPUT"):
+			arg, err := parenArg(line, "OUTPUT")
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench: line %d: expected assignment, got %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close_ := strings.LastIndex(rhs, ")")
+			if lhs == "" || open <= 0 || close_ < open {
+				return nil, fmt.Errorf("bench: line %d: malformed gate %q", lineNo, line)
+			}
+			fn := strings.TrimSpace(rhs[:open])
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close_], ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return nil, fmt.Errorf("bench: line %d: empty operand in %q", lineNo, line)
+				}
+				args = append(args, a)
+			}
+			gateLines = append(gateLines, gateLine{name: lhs, fn: fn, args: args, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %v", err)
+	}
+
+	c := logic.New(name)
+	for _, in := range inputs {
+		if _, err := c.AddInput(in); err != nil {
+			return nil, fmt.Errorf("bench: %v", err)
+		}
+	}
+	// Flip-flops first, unconnected: their outputs are launch points
+	// that the combinational logic (including their own data cones —
+	// that is the feedback) may reference; the data pins are wired
+	// after all signals exist.
+	type dffConn struct {
+		id      int
+		operand string
+		line    int
+	}
+	var dffConns []dffConn
+	var pending []gateLine
+	for _, gl := range gateLines {
+		if strings.EqualFold(gl.fn, "DFF") {
+			if len(gl.args) != 1 {
+				return nil, fmt.Errorf("bench: line %d: DFF takes 1 operand, got %d", gl.line, len(gl.args))
+			}
+			id, err := c.AddDff(gl.name)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", gl.line, err)
+			}
+			dffConns = append(dffConns, dffConn{id: id, operand: gl.args[0], line: gl.line})
+			continue
+		}
+		pending = append(pending, gl)
+	}
+	// Iteratively add gates whose operands are all defined. The format
+	// allows forward references, so loop until a fixpoint.
+	for len(pending) > 0 {
+		progressed := false
+		var next []gateLine
+		for _, gl := range pending {
+			ready := true
+			ids := make([]int, 0, len(gl.args))
+			for _, a := range gl.args {
+				g, ok := c.GateByName(a)
+				if !ok {
+					ready = false
+					break
+				}
+				ids = append(ids, g.ID)
+			}
+			if !ready {
+				next = append(next, gl)
+				continue
+			}
+			ty, err := logic.GateTypeForFunction(gl.fn, len(gl.args))
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", gl.line, err)
+			}
+			if _, err := c.AddGate(gl.name, ty, ids...); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", gl.line, err)
+			}
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("bench: %d gates have undefined or cyclic operands (first: %q line %d)",
+				len(next), next[0].name, next[0].line)
+		}
+		pending = next
+	}
+	for _, dc := range dffConns {
+		g, ok := c.GateByName(dc.operand)
+		if !ok {
+			return nil, fmt.Errorf("bench: line %d: DFF operand %q undefined", dc.line, dc.operand)
+		}
+		if err := c.ConnectDff(dc.id, g.ID); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %v", dc.line, err)
+		}
+	}
+	for _, o := range outputs {
+		g, ok := c.GateByName(o)
+		if !ok {
+			return nil, fmt.Errorf("bench: OUTPUT(%s) names an undefined signal", o)
+		}
+		if err := c.MarkOutput(g.ID); err != nil {
+			return nil, fmt.Errorf("bench: %v", err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.PlaceGrid(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseString parses .bench text held in a string.
+func ParseString(name, text string) (*logic.Circuit, error) {
+	return Parse(name, strings.NewReader(text))
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+func parenArg(line, kw string) (string, error) {
+	rest := strings.TrimSpace(line[len(kw):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", fmt.Errorf("malformed %s line %q", kw, line)
+	}
+	arg := strings.TrimSpace(rest[1 : len(rest)-1])
+	if arg == "" {
+		return "", fmt.Errorf("empty %s name", kw)
+	}
+	return arg, nil
+}
+
+// benchFunction maps a gate type to its .bench function spelling.
+func benchFunction(t logic.GateType) string {
+	switch t {
+	case logic.Buf:
+		return "BUFF"
+	case logic.Inv:
+		return "NOT"
+	case logic.Nand2, logic.Nand3, logic.Nand4:
+		return "NAND"
+	case logic.Nor2, logic.Nor3, logic.Nor4:
+		return "NOR"
+	case logic.And2, logic.And3, logic.And4:
+		return "AND"
+	case logic.Or2, logic.Or3, logic.Or4:
+		return "OR"
+	case logic.Xor2:
+		return "XOR"
+	case logic.Xnor2:
+		return "XNOR"
+	case logic.Dff:
+		return "DFF"
+	default:
+		return t.String()
+	}
+}
+
+// Write emits the circuit in .bench syntax, topologically ordered, so
+// that Parse(Write(c)) round-trips.
+func Write(w io.Writer, c *logic.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s — written by statleak/bench\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n\n", c.NumInputs(), c.NumOutputs(), c.NumGates())
+	for _, id := range c.Inputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gate(id).Name)
+	}
+	bw.WriteByte('\n')
+	outs := append([]int(nil), c.Outputs()...)
+	sort.Ints(outs)
+	for _, id := range outs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gate(id).Name)
+	}
+	bw.WriteByte('\n')
+	order, err := c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		g := c.Gate(id)
+		if g.Type == logic.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gate(f).Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, benchFunction(g.Type), strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// C17 is the classic ISCAS85 c17 netlist, embedded for tests and the
+// quickstart example. It is small enough to be public-domain folklore.
+const C17 = `# c17 — ISCAS85
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+
+OUTPUT(G22)
+OUTPUT(G23)
+
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+// S27 is the classic ISCAS89 s27 sequential netlist (3 flip-flops with
+// state feedback), embedded for tests and sequential examples.
+const S27 = `# s27 — ISCAS89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`

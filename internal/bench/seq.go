@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// SeqConfig controls sequential (ISCAS89-class) benchmark generation.
+type SeqConfig struct {
+	Config
+	FFs int // number of D flip-flops
+}
+
+// seqSuite mirrors the published shape of a slice of the ISCAS89
+// suite (inputs/outputs/FFs/gates/depth); the synthetic stand-ins
+// carry a "q" prefix.
+var seqSuite = []struct {
+	name         string
+	in, out, ffs int
+	gates, depth int
+}{
+	{"q344", 9, 11, 15, 160, 14},
+	{"q1423", 17, 5, 74, 657, 20},
+	{"q5378", 35, 49, 164, 2779, 25},
+}
+
+// SeqSuiteNames returns the synthetic sequential suite names in size
+// order.
+func SeqSuiteNames() []string {
+	names := make([]string, len(seqSuite))
+	for i, e := range seqSuite {
+		names[i] = e.name
+	}
+	return names
+}
+
+// SeqSuiteConfig returns the generation config for the named
+// sequential suite circuit ("q344" … "q5378").
+func SeqSuiteConfig(name string) (SeqConfig, error) {
+	for _, e := range seqSuite {
+		if e.name == name {
+			return SeqConfig{
+				Config: Config{
+					Name:    e.name,
+					Inputs:  e.in,
+					Outputs: e.out,
+					Gates:   e.gates,
+					Depth:   e.depth,
+					Seed:    int64(e.gates)*104729 + int64(e.ffs),
+				},
+				FFs: e.ffs,
+			}, nil
+		}
+	}
+	return SeqConfig{}, fmt.Errorf("bench: unknown sequential suite circuit %q (have %v)", name, SeqSuiteNames())
+}
+
+// GenerateSeq builds a random sequential circuit: FFs and primary
+// inputs form the launch plane, a levelized combinational cloud is
+// grown exactly as in Generate, each flip-flop's data pin is wired to
+// a late-level signal (creating the state feedback loops), and the
+// remaining sinks become primary outputs. Deterministic per config.
+func GenerateSeq(cfg SeqConfig) (*logic.Circuit, error) {
+	if cfg.FFs < 1 {
+		return nil, fmt.Errorf("bench: GenerateSeq needs >= 1 FF, got %d", cfg.FFs)
+	}
+	if cfg.Inputs+cfg.FFs < 4 {
+		return nil, fmt.Errorf("bench: GenerateSeq needs inputs+FFs >= 4 (max gate arity)")
+	}
+	if cfg.Outputs < 1 || cfg.Depth < 2 || cfg.Gates < cfg.Depth {
+		return nil, fmt.Errorf("bench: GenerateSeq: bad shape (outputs %d, depth %d, gates %d)",
+			cfg.Outputs, cfg.Depth, cfg.Gates)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := logic.New(cfg.Name)
+
+	levels := make([][]int, cfg.Depth+1)
+	for i := 0; i < cfg.Inputs; i++ {
+		id, err := c.AddInput(fmt.Sprintf("I%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		levels[0] = append(levels[0], id)
+	}
+	ffs := make([]int, cfg.FFs)
+	for i := range ffs {
+		id, err := c.AddDff(fmt.Sprintf("F%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		ffs[i] = id
+		levels[0] = append(levels[0], id)
+	}
+
+	// Combinational cloud, identical construction to Generate.
+	perLevel := make([]int, cfg.Depth+1)
+	last := cfg.Outputs + cfg.FFs
+	if last > cfg.Gates/2 {
+		last = cfg.Gates / 2
+	}
+	if last < 1 {
+		last = 1
+	}
+	remaining := cfg.Gates - last
+	for l := 1; l < cfg.Depth; l++ {
+		share := remaining / (cfg.Depth - l)
+		if share < 1 {
+			share = 1
+		}
+		perLevel[l] = share
+		remaining -= share
+	}
+	perLevel[cfg.Depth] = last + remaining
+
+	covered := make(map[int]bool)
+	gateNo := 0
+	for l := 1; l <= cfg.Depth; l++ {
+		for i := 0; i < perLevel[l]; i++ {
+			ty := pickType(rng)
+			fanin, err := pickFanins(rng, levels, l, ty.Arity(), covered)
+			if err != nil {
+				return nil, err
+			}
+			gateNo++
+			id, err := c.AddGate(fmt.Sprintf("N%d", gateNo), ty, fanin...)
+			if err != nil {
+				return nil, err
+			}
+			levels[l] = append(levels[l], id)
+			for _, f := range fanin {
+				covered[f] = true
+			}
+		}
+	}
+
+	// Wire the state feedback: each FF's data pin takes a late-level
+	// signal, preferring sinks so the cloud stays live.
+	var sinks []int
+	for _, g := range c.Gates() {
+		if g.Type != logic.Input && g.Type != logic.Dff && len(g.Fanout) == 0 {
+			sinks = append(sinks, g.ID)
+		}
+	}
+	si := 0
+	for _, f := range ffs {
+		var driver int
+		if si < len(sinks) {
+			driver = sinks[si]
+			si++
+		} else {
+			top := levels[cfg.Depth]
+			if len(top) == 0 {
+				top = levels[cfg.Depth-1]
+			}
+			driver = top[rng.Intn(len(top))]
+		}
+		if err := c.ConnectDff(f, driver); err != nil {
+			return nil, err
+		}
+		covered[driver] = true
+	}
+	sinks = sinks[si:]
+
+	// Fold unused launch signals (PIs and FF outputs) into the cloud
+	// with a balanced NAND tree, as in Generate.
+	var loose []int
+	for _, id := range c.Inputs() {
+		if !covered[id] {
+			loose = append(loose, id)
+		}
+	}
+	for _, id := range ffs {
+		if !covered[id] {
+			loose = append(loose, id)
+		}
+	}
+	for head := 0; head < len(loose); {
+		a := loose[head]
+		head++
+		b := levels[1][rng.Intn(len(levels[1]))]
+		if head < len(loose) {
+			b = loose[head]
+			head++
+		}
+		gateNo++
+		id, err := c.AddGate(fmt.Sprintf("N%d", gateNo), logic.Nand2, a, b)
+		if err != nil {
+			return nil, err
+		}
+		covered[a] = true
+		covered[b] = true
+		if head < len(loose) {
+			loose = append(loose, id)
+		} else {
+			sinks = append(sinks, id)
+		}
+	}
+
+	// Remaining sinks become primary outputs (reduced to the target
+	// count by a balanced NAND tree).
+	head := 0
+	for len(sinks)-head > cfg.Outputs {
+		a := sinks[head]
+		b := sinks[head+1]
+		head += 2
+		gateNo++
+		id, err := c.AddGate(fmt.Sprintf("N%d", gateNo), logic.Nand2, a, b)
+		if err != nil {
+			return nil, err
+		}
+		sinks = append(sinks, id)
+	}
+	sinks = sinks[head:]
+	for _, s := range sinks {
+		if err := c.MarkOutput(s); err != nil {
+			return nil, err
+		}
+	}
+	if c.NumOutputs() < cfg.Outputs {
+		for l := cfg.Depth; l >= 1 && c.NumOutputs() < cfg.Outputs; l-- {
+			for _, id := range levels[l] {
+				if c.NumOutputs() >= cfg.Outputs {
+					break
+				}
+				if err := c.MarkOutput(id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: generated sequential circuit invalid: %v", err)
+	}
+	if err := c.PlaceGrid(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestParseS27(t *testing.T) {
+	c, err := ParseString("s27", S27)
+	if err != nil {
+		t.Fatalf("ParseString(S27): %v", err)
+	}
+	if got := c.NumInputs(); got != 4 {
+		t.Errorf("inputs = %d, want 4", got)
+	}
+	if got := c.NumDffs(); got != 3 {
+		t.Errorf("DFFs = %d, want 3", got)
+	}
+	if got := c.NumOutputs(); got != 1 {
+		t.Errorf("outputs = %d, want 1", got)
+	}
+	if !c.Sequential() {
+		t.Error("s27 not recognized as sequential")
+	}
+	// 10 combinational gates + 3 DFFs = 13 logic gates.
+	if got := c.NumGates(); got != 13 {
+		t.Errorf("gates = %d, want 13", got)
+	}
+	// The feedback loop G11 → G5(DFF) → G11 must not be a cycle in the
+	// timing graph.
+	if _, err := c.TopoOrder(); err != nil {
+		t.Fatalf("TopoOrder on sequential circuit: %v", err)
+	}
+	g5, _ := c.GateByName("G5")
+	g10, _ := c.GateByName("G10")
+	if g5.Type != logic.Dff || len(g5.Fanin) != 1 || g5.Fanin[0] != g10.ID {
+		t.Error("G5 DFF not wired to G10")
+	}
+}
+
+func TestS27SimulateSeq(t *testing.T) {
+	c, err := ParseString("s27", S27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference next-state/output function of s27, from the netlist.
+	ref := func(g0, g1, g2, g3 bool, g5, g6, g7 bool) (out bool, n5, n6, n7 bool) {
+		g14 := !g0
+		g8 := g14 && g6
+		g12 := !(g1 || g7)
+		g15 := g12 || g8
+		g16 := g3 || g8
+		g9 := !(g16 && g15)
+		g11 := !(g5 || g9)
+		g10 := !(g14 || g11)
+		g13 := !(g2 || g12)
+		g17 := !g11
+		return g17, g10, g11, g13
+	}
+	for v := 0; v < 128; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0}
+		st := []bool{v&16 != 0, v&32 != 0, v&64 != 0}
+		vals, next, err := c.SimulateSeq(in, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOut, w5, w6, w7 := ref(in[0], in[1], in[2], in[3], st[0], st[1], st[2])
+		g17, _ := c.GateByName("G17")
+		if vals[g17.ID] != wantOut {
+			t.Fatalf("v=%d: output %v, want %v", v, vals[g17.ID], wantOut)
+		}
+		if next[0] != w5 || next[1] != w6 || next[2] != w7 {
+			t.Fatalf("v=%d: next state %v, want [%v %v %v]", v, next, w5, w6, w7)
+		}
+	}
+}
+
+func TestSimulateRejectsSequential(t *testing.T) {
+	c, err := ParseString("s27", S27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Simulate([]bool{false, false, false, false}); err == nil {
+		t.Error("Simulate accepted a sequential circuit")
+	}
+	// SimulateSeq validates state width.
+	if _, _, err := c.SimulateSeq([]bool{false, false, false, false}, []bool{false}); err == nil {
+		t.Error("wrong state width accepted")
+	}
+}
+
+func TestS27WriteParseRoundTrip(t *testing.T) {
+	orig, err := ParseString("s27", S27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DFF(") {
+		t.Fatalf("writer dropped DFFs:\n%s", buf.String())
+	}
+	back, err := ParseString("s27rt", buf.String())
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, buf.String())
+	}
+	if back.NumDffs() != orig.NumDffs() || back.NumGates() != orig.NumGates() {
+		t.Fatal("round trip changed shape")
+	}
+	// Functional equivalence over all input/state combinations.
+	for v := 0; v < 128; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0}
+		st := []bool{v&16 != 0, v&32 != 0, v&64 != 0}
+		va, na, err := orig.SimulateSeq(in, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, nb, err := back.SimulateSeq(in, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("next state differs at v=%d", v)
+			}
+		}
+		if va[orig.Outputs()[0]] != vb[back.Outputs()[0]] {
+			t.Fatalf("output differs at v=%d", v)
+		}
+	}
+}
+
+func TestParseDffErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"dff arity", "INPUT(a)\nOUTPUT(y)\nf = DFF(a, a)\ny = NOT(f)\n"},
+		{"dff undefined operand", "INPUT(a)\nOUTPUT(y)\nf = DFF(zzz)\ny = NAND(f, a)\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.name, tc.src); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestGenerateSeqSuite(t *testing.T) {
+	for _, name := range SeqSuiteNames() {
+		cfg, err := SeqSuiteConfig(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := GenerateSeq(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", name, err)
+		}
+		if c.NumDffs() != cfg.FFs {
+			t.Errorf("%s: FFs = %d, want %d", name, c.NumDffs(), cfg.FFs)
+		}
+		if c.NumInputs() != cfg.Inputs || c.NumOutputs() != cfg.Outputs {
+			t.Errorf("%s: PI/PO = %d/%d, want %d/%d", name,
+				c.NumInputs(), c.NumOutputs(), cfg.Inputs, cfg.Outputs)
+		}
+		lo, hi := cfg.Gates*8/10, cfg.Gates*12/10
+		// gate count includes the FFs themselves
+		if g := c.NumGates() - c.NumDffs(); g < lo || g > hi {
+			t.Errorf("%s: comb gates = %d, want within [%d,%d]", name, g, lo, hi)
+		}
+		// Real sequential structure: at least one FF must sit on a
+		// feedback loop (its data cone depends on some FF output).
+		foundFeedback := false
+		for _, f := range c.Dffs() {
+			seen := map[int]bool{}
+			stack := []int{c.Gate(f).Fanin[0]}
+			for len(stack) > 0 && !foundFeedback {
+				id := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if c.Gate(id).Type == logic.Dff {
+					foundFeedback = true
+					break
+				}
+				stack = append(stack, c.Gate(id).Fanin...)
+			}
+			if foundFeedback {
+				break
+			}
+		}
+		if !foundFeedback {
+			t.Errorf("%s: no FF-to-FF feedback path; not a real sequential circuit", name)
+		}
+	}
+}
+
+func TestGenerateSeqDeterminism(t *testing.T) {
+	cfg, err := SeqSuiteConfig("q344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := Write(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Error("GenerateSeq not deterministic")
+	}
+}
+
+func TestGenerateSeqConfigValidation(t *testing.T) {
+	good, _ := SeqSuiteConfig("q344")
+	bad := []func(*SeqConfig){
+		func(c *SeqConfig) { c.FFs = 0 },
+		func(c *SeqConfig) { c.FFs = 1; c.Inputs = 2 },
+		func(c *SeqConfig) { c.Outputs = 0 },
+		func(c *SeqConfig) { c.Depth = 1 },
+		func(c *SeqConfig) { c.Gates = 3 },
+	}
+	for i, mod := range bad {
+		cfg := good
+		mod(&cfg)
+		if _, err := GenerateSeq(cfg); err == nil {
+			t.Errorf("bad seq config %d accepted", i)
+		}
+	}
+	if _, err := SeqSuiteConfig("zzz"); err == nil {
+		t.Error("unknown seq suite name accepted")
+	}
+}

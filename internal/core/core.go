@@ -1,0 +1,223 @@
+// Package core defines the central object of the library: a Design —
+// a circuit bound to a technology library and a variation model, with
+// a per-gate implementation assignment (Vth class and drive size).
+// Everything downstream (deterministic STA, SSTA, statistical leakage,
+// Monte Carlo, and both optimizers) evaluates a Design.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+// Design couples a netlist with its electrical implementation state.
+// The Circuit, Lib and Var fields are shared, immutable context; Vth
+// and Size are the mutable per-node assignment the optimizers search
+// over (entries for Input pseudo-gates are ignored).
+type Design struct {
+	Circuit *logic.Circuit
+	Lib     *tech.Library
+	Var     *variation.Model
+
+	Vth  []tech.VthClass
+	Size []float64
+
+	isOut []bool // precomputed primary-output membership per node
+}
+
+// NewDesign creates a design with every gate at low Vth and the
+// smallest library size — the fast, leaky starting point both
+// optimizers refine.
+func NewDesign(c *logic.Circuit, lib *tech.Library, vm *variation.Model) (*Design, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumNodes()
+	d := &Design{
+		Circuit: c,
+		Lib:     lib,
+		Var:     vm,
+		Vth:     make([]tech.VthClass, n),
+		Size:    make([]float64, n),
+		isOut:   make([]bool, n),
+	}
+	for i := range d.Size {
+		d.Size[i] = lib.Sizes[0]
+	}
+	for _, o := range c.Outputs() {
+		d.isOut[o] = true
+	}
+	return d, nil
+}
+
+// Clone copies the assignment; circuit, library and variation model
+// are shared (they are immutable).
+func (d *Design) Clone() *Design {
+	return &Design{
+		Circuit: d.Circuit,
+		Lib:     d.Lib,
+		Var:     d.Var,
+		Vth:     append([]tech.VthClass(nil), d.Vth...),
+		Size:    append([]float64(nil), d.Size...),
+		isOut:   d.isOut,
+	}
+}
+
+// CopyAssignmentFrom overwrites this design's assignment with src's.
+// Both must wrap the same circuit.
+func (d *Design) CopyAssignmentFrom(src *Design) {
+	copy(d.Vth, src.Vth)
+	copy(d.Size, src.Size)
+}
+
+// SetVth assigns a threshold class to a gate.
+func (d *Design) SetVth(id int, v tech.VthClass) error {
+	if !v.Valid() {
+		return fmt.Errorf("core: invalid Vth class %d", uint8(v))
+	}
+	d.Vth[id] = v
+	return nil
+}
+
+// SetSize assigns a drive size to a gate; the size must be on the
+// library ladder.
+func (d *Design) SetSize(id int, s float64) error {
+	if d.Lib.SizeIndex(s) < 0 {
+		return fmt.Errorf("core: size %g not in library ladder %v", s, d.Lib.Sizes)
+	}
+	d.Size[id] = s
+	return nil
+}
+
+// IsOutput reports whether node id is a primary output (O(1)).
+func (d *Design) IsOutput(id int) bool { return d.isOut[id] }
+
+// Load returns the capacitive load [fF] a gate drives: the input
+// capacitance of every fanout pin connected to it, lumped wire
+// capacitance per fanout connection, and the primary-output load if
+// the gate feeds a PO.
+func (d *Design) Load(id int) float64 {
+	c := d.Circuit
+	g := c.Gate(id)
+	load := 0.0
+	for _, s := range g.Fanout {
+		sink := c.Gate(s)
+		pins := 0
+		for _, f := range sink.Fanin {
+			if f == id {
+				pins++
+			}
+		}
+		load += float64(pins) * d.Lib.InputCap(sink.Type, d.Size[s])
+		load += d.Lib.P.WireCapPerFanoutFF
+	}
+	if d.isOut[id] {
+		load += d.Lib.P.POLoadFF
+	}
+	return load
+}
+
+// GateDelay returns the nominal delay [ps] of node id under the
+// current assignment (0 for primary inputs).
+func (d *Design) GateDelay(id int) float64 {
+	g := d.Circuit.Gate(id)
+	return d.Lib.Delay(g.Type, d.Vth[id], d.Size[id], d.Load(id))
+}
+
+// GateDelayWith returns the exact delay [ps] under parameter
+// excursions (ΔLeff in nm, independent ΔVth in V) — the Monte Carlo
+// model.
+func (d *Design) GateDelayWith(id int, dLnm, dVthV float64) float64 {
+	g := d.Circuit.Gate(id)
+	return d.Lib.DelayWith(g.Type, d.Vth[id], d.Size[id], d.Load(id), dLnm, dVthV)
+}
+
+// GateDelayDerivs returns ∂delay/∂ΔLeff [ps/nm] and ∂delay/∂ΔVth
+// [ps/V] at the nominal point — the SSTA linearization.
+func (d *Design) GateDelayDerivs(id int) (dPerNm, dPerV float64) {
+	g := d.Circuit.Gate(id)
+	return d.Lib.DelayDerivs(g.Type, d.Vth[id], d.Size[id], d.Load(id))
+}
+
+// GateLeak returns the nominal leakage power [nW] of node id.
+func (d *Design) GateLeak(id int) float64 {
+	g := d.Circuit.Gate(id)
+	return d.Lib.Leak(g.Type, d.Vth[id], d.Size[id])
+}
+
+// GateSubLeak returns the process-sensitive subthreshold component
+// [nW].
+func (d *Design) GateSubLeak(id int) float64 {
+	g := d.Circuit.Gate(id)
+	return d.Lib.SubLeak(g.Type, d.Vth[id], d.Size[id])
+}
+
+// GateGateLeak returns the Vth-independent gate-tunneling component
+// [nW].
+func (d *Design) GateGateLeak(id int) float64 {
+	g := d.Circuit.Gate(id)
+	return d.Lib.GateLeak(g.Type, d.Size[id])
+}
+
+// GateLeakWith returns the exact leakage [nW] under parameter
+// excursions — the Monte Carlo model.
+func (d *Design) GateLeakWith(id int, dLnm, dVthV float64) float64 {
+	g := d.Circuit.Gate(id)
+	return d.Lib.LeakWith(g.Type, d.Vth[id], d.Size[id], dLnm, dVthV)
+}
+
+// TotalLeak returns the nominal total leakage [nW].
+func (d *Design) TotalLeak() float64 {
+	sum := 0.0
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		sum += d.GateLeak(g.ID)
+	}
+	return sum
+}
+
+// Area returns the total relative cell area: Σ size·w(type), a unitless
+// proxy proportional to total transistor width.
+func (d *Design) Area() float64 {
+	sum := 0.0
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		sum += d.Size[g.ID] * tech.LogicalEffort(g.Type) // effort tracks width
+	}
+	return sum
+}
+
+// CountHVT returns how many logic gates are assigned the high-Vth
+// flavor.
+func (d *Design) CountHVT() int {
+	n := 0
+	for _, g := range d.Circuit.Gates() {
+		if g.Type != logic.Input && d.Vth[g.ID] == tech.HighVth {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgSize returns the mean drive size over logic gates.
+func (d *Design) AvgSize() float64 {
+	sum, n := 0.0, 0
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		sum += d.Size[g.ID]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// fastCtx returns a context small enough for unit testing.
+func fastCtx(buf *bytes.Buffer) *Context {
+	ctx := NewContext(buf)
+	ctx.Benchmarks = []string{"s432"}
+	ctx.MCSamples = 300
+	return ctx
+}
+
+func TestPrepare(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	pr, err := ctx.Prepare("s432", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.DminPs <= 0 {
+		t.Error("Dmin not positive")
+	}
+	if pr.TmaxPs <= pr.DminPs {
+		t.Error("Tmax not above Dmin")
+	}
+	if pr.Base.CountHVT() != 0 {
+		t.Error("prepared design not all-LVT")
+	}
+	if _, err := ctx.Prepare("nope", nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestTable1FullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	tb, err := ctx.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 {
+		t.Errorf("Table1 has %d rows, want 10 (full suite)", len(tb.Rows))
+	}
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "s7552") {
+		t.Error("Table1 missing s7552")
+	}
+}
+
+func TestTable3HeadlineShape(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	tb, err := ctx.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	// improvement column (index 7) must be positive.
+	if !strings.HasSuffix(row[7], "%") || strings.HasPrefix(row[7], "-") {
+		t.Errorf("q99 improvement %q not positive", row[7])
+	}
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	if err := ctx.Run("nope"); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRegistryCoversAllIDs(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	reg := ctx.Registry()
+	for _, id := range ExperimentIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(ExperimentIDs()) {
+		t.Errorf("registry has %d entries, ids list %d", len(reg), len(ExperimentIDs()))
+	}
+}
+
+func TestAblationLognormalSum(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	tb, err := ctx.AblationLognormalSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// error columns should be tiny percentages
+	for _, col := range []int{2, 3} {
+		v := tb.Rows[0][col]
+		if !strings.HasSuffix(v, "%") {
+			t.Errorf("column %d = %q, want percentage", col, v)
+		}
+	}
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable2DeterministicRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	tb, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The reduction column must be a solid positive percentage.
+	red := tb.Rows[0][3]
+	if !strings.HasSuffix(red, "%") || strings.HasPrefix(red, "-") {
+		t.Errorf("reduction %q not positive", red)
+	}
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable4ValidationErrorsSmall(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	tb, err := ctx.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean-error columns (1 and 3) must be single-digit percentages.
+	for _, col := range []int{1, 3} {
+		v := strings.TrimSuffix(strings.TrimPrefix(tb.Rows[0][col], "-"), "%")
+		var f float64
+		if _, err := fmt.Sscanf(v, "%f", &f); err != nil {
+			t.Fatalf("column %d = %q unparseable", col, tb.Rows[0][col])
+		}
+		if f > 9 {
+			t.Errorf("column %d error %g%% too large", col, f)
+		}
+	}
+}
+
+func TestPrepareSeq(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	pr, err := ctx.PrepareSeq("q344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Base.Circuit.Sequential() {
+		t.Error("PrepareSeq produced a combinational circuit")
+	}
+	if pr.DminPs <= 0 || pr.TmaxPs <= pr.DminPs {
+		t.Error("bad Dmin/Tmax")
+	}
+	if _, err := ctx.PrepareSeq("s432"); err == nil {
+		t.Error("combinational name accepted by PrepareSeq")
+	}
+}
+
+func TestTechParamsOverride(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	p, err := tech.Preset("70nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.TechParams = p
+	pr, err := ctx.Prepare("s432", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Base.Lib.P.Name != "generic-70nm" {
+		t.Errorf("prepared with %s, want 70nm preset", pr.Base.Lib.P.Name)
+	}
+}
+
+func TestFigure1Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	ctx := fastCtx(&buf)
+	s, err := ctx.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) == 0 {
+		t.Fatal("empty series")
+	}
+	// densities non-negative and both series sum to roughly the same
+	// mass over the histogram support.
+	var mcMass, fitMass float64
+	for i := range s.X {
+		if s.Y[0][i] < 0 || s.Y[1][i] < 0 {
+			t.Fatal("negative density")
+		}
+		mcMass += s.Y[0][i]
+		fitMass += s.Y[1][i]
+	}
+	if mcMass <= 0 || fitMass <= 0 {
+		t.Fatal("zero mass")
+	}
+	ratio := mcMass / fitMass
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("MC vs fit mass ratio %g; lognormal fit off", ratio)
+	}
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderer is anything the experiment drivers produce (tables and
+// figure series both render to a writer).
+type Renderer interface {
+	Render(io.Writer) error
+}
+
+// Registry maps experiment IDs to their drivers.
+func (ctx *Context) Registry() map[string]func() (Renderer, error) {
+	return map[string]func() (Renderer, error){
+		"table1": func() (Renderer, error) { return ctx.Table1() },
+		"table2": func() (Renderer, error) { return ctx.Table2() },
+		"table3": func() (Renderer, error) { return ctx.Table3() },
+		"table4": func() (Renderer, error) { return ctx.Table4() },
+		"fig1":   func() (Renderer, error) { return ctx.Figure1() },
+		"fig2":   func() (Renderer, error) { return ctx.Figure2() },
+		"fig3":   func() (Renderer, error) { return ctx.Figure3() },
+		"fig4":   func() (Renderer, error) { return ctx.Figure4() },
+		"fig5":   func() (Renderer, error) { return ctx.Figure5() },
+		"a1":     func() (Renderer, error) { return ctx.AblationMoves() },
+		"a2":     func() (Renderer, error) { return ctx.AblationCorrelation() },
+		"a3":     func() (Renderer, error) { return ctx.AblationLognormalSum() },
+		"a4":     func() (Renderer, error) { return ctx.AblationAnnealing() },
+		"a5":     func() (Renderer, error) { return ctx.AblationSampling() },
+		"fig6":   func() (Renderer, error) { return ctx.ScalingFigure() },
+		"e1":     func() (Renderer, error) { return ctx.ExtensionABB() },
+		"e2":     func() (Renderer, error) { return ctx.ExtensionStandbyVector() },
+		"e3":     func() (Renderer, error) { return ctx.ExtensionDualFront() },
+		"e4":     func() (Renderer, error) { return ctx.ExtensionTemperature() },
+		"s1":     func() (Renderer, error) { return ctx.SequentialTable() },
+	}
+}
+
+// ExperimentIDs returns the registry keys in canonical order.
+func ExperimentIDs() []string {
+	return []string{"table1", "table2", "table3", "table4",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"a1", "a2", "a3", "a4", "a5", "e1", "e2", "e3", "e4", "s1"}
+}
+
+// Run executes one experiment by ID and renders it to ctx.Out.
+func (ctx *Context) Run(id string) error {
+	reg := ctx.Registry()
+	f, ok := reg[id]
+	if !ok {
+		keys := make([]string, 0, len(reg))
+		for k := range reg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return fmt.Errorf("exp: unknown experiment %q (have %v)", id, keys)
+	}
+	r, err := f()
+	if err != nil {
+		return fmt.Errorf("exp: %s: %v", id, err)
+	}
+	return r.Render(ctx.Out)
+}
+
+// RunAll executes every experiment in canonical order.
+func (ctx *Context) RunAll() error {
+	for _, id := range ExperimentIDs() {
+		if err := ctx.Run(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

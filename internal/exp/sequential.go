@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/report"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+// SequentialTable (S1) repeats the headline comparison on sequential
+// (ISCAS89-class) circuits: the delay constraint is the clock period,
+// timing endpoints are flip-flop data pins (plus primary outputs), and
+// the flip-flops themselves join the dual-Vth/sizing move set.
+func (ctx *Context) SequentialTable() (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Table S1 — sequential circuits: deterministic vs statistical (Tclk = %.2f·Tmin, η = %.0f%%)",
+			ctx.TmaxFactor, 100*opt.DefaultOptions(1).YieldTarget),
+		"circuit", "gates", "FFs", "Tmin [ps]", "det q99 [nW]", "stat q99 [nW]", "q99 improve",
+		"stat yield(MC)", "HVT FFs")
+	for _, name := range bench.SeqSuiteNames() {
+		pr, err := ctx.PrepareSeq(name)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := RunPair(pr)
+		if err != nil {
+			return nil, err
+		}
+		if !pair.DetRes.Feasible || !pair.StatRes.Feasible {
+			t.AddRow(name, pr.Base.Circuit.NumGates(), pr.Base.Circuit.NumDffs(),
+				pr.DminPs, "infeasible", "-", "-", "-", "-")
+			continue
+		}
+		mcStat, err := ctx.mcOn(pair.Stat)
+		if err != nil {
+			return nil, err
+		}
+		hvtFF := 0
+		for _, f := range pair.Stat.Circuit.Dffs() {
+			if pair.Stat.Vth[f] == tech.HighVth {
+				hvtFF++
+			}
+		}
+		t.AddRow(name, pr.Base.Circuit.NumGates(), pr.Base.Circuit.NumDffs(), pr.DminPs,
+			pair.DetEval.LeakPctNW, pair.StatRes.LeakPctNW,
+			improvement(pair.DetEval.LeakPctNW, pair.StatRes.LeakPctNW),
+			fmt.Sprintf("%.4f", mcStat.TimingYield(pr.TmaxPs)),
+			fmt.Sprintf("%d/%d", hvtFF, pair.Stat.Circuit.NumDffs()))
+	}
+	t.AddNote("Tmin = minimum clock period (worst FF-to-FF/PO path incl. setup) after greedy sizing")
+	return t, nil
+}
+
+// PrepareSeq builds the design for a sequential suite circuit.
+func (ctx *Context) PrepareSeq(name string) (*Prepared, error) {
+	p := tech.Default100nm()
+	lib, err := tech.NewLibrary(p)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := variation.New(variation.Default(p.LeffNom))
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := bench.SeqSuiteConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := bench.GenerateSeq(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.NewDesign(c, lib, vm)
+	if err != nil {
+		return nil, err
+	}
+	ref := d.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		return nil, err
+	}
+	tf := ctx.TmaxFactor
+	if tf <= 1 {
+		tf = 1.3
+	}
+	pr := &Prepared{Name: name, Base: d, DminPs: dmin, TmaxPs: tf * dmin}
+	pr.Opt = opt.DefaultOptions(pr.TmaxPs)
+	return pr, nil
+}

@@ -1,0 +1,186 @@
+package leakage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// State-dependent leakage (extension).
+//
+// The package-level machinery treats each cell's subthreshold leakage
+// as its input-state average (the stack factors baked into the
+// library). Real leakage depends on the applied input vector: a gate
+// whose series transistor stack has two or more OFF devices leaks far
+// less than one with a single OFF device (the stack effect), and a
+// gate with every stacked device ON leaks through the opposite,
+// parallel network at full width. This file adds the vector-dependent
+// view: evaluate the circuit's leakage under a specific primary-input
+// vector, search for low-leakage standby vectors, and estimate the
+// state-averaged leakage — the knobs the "standby vector selection"
+// literature contemporary with the paper uses.
+
+// stackState classifies a gate's leakage state for a given input
+// assignment.
+//
+// The model: inverting gates (NAND/NOR/NOT families) have one series
+// stack and one parallel network; the OFF devices determine leakage.
+//   - k = number of OFF devices in the blocking network
+//     (k ≥ 1 whenever the output is driven, by construction).
+//   - factor(k): 1 OFF device leaks at full width; each additional
+//     series OFF device suppresses leakage by ~3× (drain-induced
+//     source biasing), the classic stack-effect magnitude.
+//
+// Non-inverting composites (AND/OR/BUF) are two stages; the second
+// stage is an inverter that dominates (it is the wide one), so they
+// are treated through their inverting core with an extra 15% for the
+// first stage.
+func stackFactor(t logic.GateType, in []bool, out bool) float64 {
+	// Count inputs that turn OFF the network that blocks the output.
+	offCount := func(wantOn bool) int {
+		n := 0
+		for _, v := range in {
+			if v != wantOn {
+				n++
+			}
+		}
+		return n
+	}
+	const perStage = 3.0 // leakage suppression per extra series OFF device
+	series := func(k int) float64 {
+		if k <= 0 {
+			// No OFF device in the blocking stack: the state is leaky
+			// through the complementary network at full width.
+			return 1.25
+		}
+		f := 1.0
+		for i := 1; i < k; i++ {
+			f /= perStage
+		}
+		return f
+	}
+	switch t {
+	case logic.Inv, logic.Buf:
+		return 1.0 // single device OFF either way
+	case logic.Nand2, logic.Nand3, logic.Nand4, logic.And2, logic.And3, logic.And4:
+		// nMOS series stack blocks when output is high: OFF nMOS count
+		// = number of low inputs.
+		k := offCount(true)
+		f := series(k)
+		if t == logic.And2 || t == logic.And3 || t == logic.And4 {
+			f = 0.85*f + 0.15 // second-stage inverter dominates; first stage adds a floor
+		}
+		return f
+	case logic.Nor2, logic.Nor3, logic.Nor4, logic.Or2, logic.Or3, logic.Or4:
+		// pMOS series stack blocks when output is low: OFF pMOS count
+		// = number of high inputs.
+		k := offCount(false)
+		f := series(k)
+		if t == logic.Or2 || t == logic.Or3 || t == logic.Or4 {
+			f = 0.85*f + 0.15
+		}
+		return f
+	case logic.Xor2, logic.Xnor2:
+		// Transmission/complex structure: weak state dependence.
+		return 1.0
+	default:
+		return 1.0
+	}
+}
+
+// VectorLeak returns the nominal total leakage [nW] of the design
+// under the given primary-input vector (indexed in PI creation
+// order): each gate's library-average subthreshold leakage is rescaled
+// by its state's stack factor relative to the average factor, plus the
+// state-independent gate leakage.
+func VectorLeak(d *core.Design, inputs []bool) (float64, error) {
+	vals, err := d.Circuit.Simulate(inputs)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	buf := make([]bool, 0, 4)
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, vals[f])
+		}
+		sf := stackFactor(g.Type, buf, vals[g.ID])
+		avg := averageStackFactor(g.Type)
+		total += d.GateSubLeak(g.ID)*sf/avg + d.GateGateLeak(g.ID)
+	}
+	return total, nil
+}
+
+// averageStackFactor returns the expectation of stackFactor over
+// uniform random inputs, used to keep VectorLeak consistent with the
+// library's state-averaged SubLeak (the mean over vectors of
+// VectorLeak equals TotalLeak up to simulation correlation between
+// gates).
+func averageStackFactor(t logic.GateType) float64 {
+	n := t.Arity()
+	if n == 0 {
+		return 1
+	}
+	total := 0.0
+	count := 1 << n
+	in := make([]bool, n)
+	for v := 0; v < count; v++ {
+		for i := 0; i < n; i++ {
+			in[i] = v&(1<<i) != 0
+		}
+		total += stackFactor(t, in, t.Eval(in))
+	}
+	return total / float64(count)
+}
+
+// MinLeakVectorResult reports a standby-vector search.
+type MinLeakVectorResult struct {
+	Vector  []bool
+	LeakNW  float64
+	Tried   int
+	BestAt  int     // trial index of the winner
+	MeanNW  float64 // mean over tried vectors
+	WorstNW float64
+}
+
+// FindMinLeakVector searches trials random primary-input vectors for
+// the lowest-leakage standby state (random search is the standard
+// baseline for this NP-hard selection problem). Deterministic for a
+// given seed.
+func FindMinLeakVector(d *core.Design, trials int, seed int64) (*MinLeakVectorResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("leakage: FindMinLeakVector needs trials > 0, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nIn := d.Circuit.NumInputs()
+	res := &MinLeakVectorResult{LeakNW: 1e300}
+	sum := 0.0
+	vec := make([]bool, nIn)
+	for t := 0; t < trials; t++ {
+		for i := range vec {
+			vec[i] = rng.Intn(2) == 1
+		}
+		leak, err := VectorLeak(d, vec)
+		if err != nil {
+			return nil, err
+		}
+		sum += leak
+		if leak < res.LeakNW {
+			res.LeakNW = leak
+			res.Vector = append(res.Vector[:0], vec...)
+			res.BestAt = t
+		}
+		if leak > res.WorstNW {
+			res.WorstNW = leak
+		}
+	}
+	res.Tried = trials
+	res.MeanNW = sum / float64(trials)
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package leakage_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+)
+
+func TestVectorLeakPositiveAndVectorDependent(t *testing.T) {
+	d := suite(t, "s432")
+	nIn := d.Circuit.NumInputs()
+	allLow := make([]bool, nIn)
+	allHigh := make([]bool, nIn)
+	for i := range allHigh {
+		allHigh[i] = true
+	}
+	l0, err := leakage.VectorLeak(d, allLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := leakage.VectorLeak(d, allHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0 <= 0 || l1 <= 0 {
+		t.Fatal("vector leakage must be positive")
+	}
+	if l0 == l1 {
+		t.Error("leakage identical for all-0 and all-1 vectors; no state dependence")
+	}
+}
+
+func TestVectorLeakWrongInputCount(t *testing.T) {
+	d := suite(t, "s432")
+	if _, err := leakage.VectorLeak(d, []bool{true}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+}
+
+func TestVectorLeakAveragesToNominal(t *testing.T) {
+	// The mean of VectorLeak over many random vectors must land near
+	// the state-averaged nominal TotalLeak (exact only if gate states
+	// were independent; logic correlation keeps it within ~15%).
+	d := suite(t, "s880")
+	rng := rand.New(rand.NewSource(3))
+	nIn := d.Circuit.NumInputs()
+	vec := make([]bool, nIn)
+	sum := 0.0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		for j := range vec {
+			vec[j] = rng.Intn(2) == 1
+		}
+		l, err := leakage.VectorLeak(d, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += l
+	}
+	mean := sum / trials
+	nom := d.TotalLeak()
+	if r := mean / nom; r < 0.85 || r > 1.15 {
+		t.Errorf("mean vector leakage %g vs nominal %g (ratio %g)", mean, nom, r)
+	}
+}
+
+func TestFindMinLeakVector(t *testing.T) {
+	d := suite(t, "s432")
+	res, err := leakage.FindMinLeakVector(d, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tried != 200 || len(res.Vector) != d.Circuit.NumInputs() {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	// Ordering invariants.
+	if !(res.LeakNW <= res.MeanNW && res.MeanNW <= res.WorstNW) {
+		t.Errorf("best %g / mean %g / worst %g not ordered", res.LeakNW, res.MeanNW, res.WorstNW)
+	}
+	// The search must find meaningful spread (stack effect is real).
+	if res.WorstNW/res.LeakNW < 1.02 {
+		t.Errorf("best-to-worst spread only %gx; state model too flat", res.WorstNW/res.LeakNW)
+	}
+	// The winner reproduces.
+	again, err := leakage.VectorLeak(d, res.Vector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(again-res.LeakNW) > 1e-9 {
+		t.Errorf("winner does not reproduce: %g vs %g", again, res.LeakNW)
+	}
+	// Determinism.
+	res2, err := leakage.FindMinLeakVector(d, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.LeakNW != res.LeakNW || res2.BestAt != res.BestAt {
+		t.Error("search not deterministic for fixed seed")
+	}
+	if _, err := leakage.FindMinLeakVector(d, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestStackEffectDirection(t *testing.T) {
+	// For a NAND2 alone: both inputs low (2 OFF series nMOS) must leak
+	// less than one input low (1 OFF device), which must leak less
+	// than both inputs high (leaking through the pMOS network at full
+	// width). Build the minimal circuit and compare.
+	env, err := fixture.DefaultEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := logic.New("nand2")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	g, _ := c.AddGate("g", logic.Nand2, a, b)
+	_ = c.MarkOutput(g)
+	_ = c.PlaceGrid()
+	d, err := core.NewDesign(c, env.Lib, env.Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak := func(va, vb bool) float64 {
+		l, err := leakage.VectorLeak(d, []bool{va, vb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l00 := leak(false, false)
+	l01 := leak(false, true)
+	l11 := leak(true, true)
+	if !(l00 < l01 && l01 < l11) {
+		t.Errorf("stack ordering violated: 00=%g 01=%g 11=%g", l00, l01, l11)
+	}
+}

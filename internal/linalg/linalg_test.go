@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomSPD(rng *rand.Rand, n int) *Sym {
+	// A = B·Bᵀ + n·I is symmetric positive definite.
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := 0.0
+			for k := 0; k < n; k++ {
+				v += b[i*n+k] * b[j*n+k]
+			}
+			if i == j {
+				v += float64(n)
+			}
+			s.Set(i, j, v)
+		}
+	}
+	return s
+}
+
+func TestSymSetAt(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 2, 5)
+	if s.At(0, 2) != 5 || s.At(2, 0) != 5 {
+		t.Error("Set did not mirror")
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		s := randomSPD(rng, n)
+		l, err := s.Cholesky()
+		if err != nil {
+			t.Fatalf("Cholesky: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := 0.0
+				for k := 0; k <= min(i, j); k++ {
+					v += l.At(i, k) * l.At(j, k)
+				}
+				if !almost(v, s.At(i, j), 1e-8*(1+math.Abs(s.At(i, j)))) {
+					t.Fatalf("trial %d: L·Lᵀ(%d,%d) = %g, want %g", trial, i, j, v, s.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 0, 1)
+	s.Set(1, 1, -1)
+	if _, err := s.Cholesky(); err == nil {
+		t.Error("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	s := NewSym(2)
+	s.Set(0, 0, 2)
+	s.Set(1, 1, 2)
+	s.Set(0, 1, 1)
+	e, err := EigenSym(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(e.Values[0], 3, 1e-10) || !almost(e.Values[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", e.Values)
+	}
+	v0 := e.Vector(0)
+	if !almost(math.Abs(v0[0]), math.Sqrt(0.5), 1e-9) || !almost(math.Abs(v0[1]), math.Sqrt(0.5), 1e-9) {
+		t.Errorf("first eigenvector = %v, want ±[1,1]/√2", v0)
+	}
+}
+
+func TestEigenSymProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(12)
+		s := randomSPD(rng, n)
+		e, err := EigenSym(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Descending eigenvalues, all positive for SPD.
+		for k := 0; k < n; k++ {
+			if e.Values[k] <= 0 {
+				t.Fatalf("eigenvalue %d = %g, want > 0", k, e.Values[k])
+			}
+			if k > 0 && e.Values[k] > e.Values[k-1]+1e-9 {
+				t.Fatalf("eigenvalues not sorted: %v", e.Values)
+			}
+		}
+		// Trace preserved.
+		tr, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			tr += s.At(i, i)
+			sum += e.Values[i]
+		}
+		if !almost(tr, sum, 1e-7*(1+math.Abs(tr))) {
+			t.Fatalf("trace %g != eigenvalue sum %g", tr, sum)
+		}
+		// S·v = λ·v and orthonormal columns.
+		for k := 0; k < n; k++ {
+			v := e.Vector(k)
+			sv := s.MulVec(v)
+			for i := 0; i < n; i++ {
+				if !almost(sv[i], e.Values[k]*v[i], 1e-6*(1+math.Abs(sv[i]))) {
+					t.Fatalf("S·v != λ·v for k=%d (i=%d: %g vs %g)", k, i, sv[i], e.Values[k]*v[i])
+				}
+			}
+			if !almost(Norm2(v), 1, 1e-8) {
+				t.Fatalf("eigenvector %d not unit norm: %g", k, Norm2(v))
+			}
+			for m := k + 1; m < n; m++ {
+				if d := Dot(v, e.Vector(m)); !almost(d, 0, 1e-8) {
+					t.Fatalf("eigenvectors %d,%d not orthogonal: %g", k, m, d)
+				}
+			}
+		}
+	}
+}
+
+func TestEigenReconstructionProperty(t *testing.T) {
+	// Property: V·diag(λ)·Vᵀ == S for random SPD matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		s := randomSPD(rng, n)
+		e, err := EigenSym(s)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := 0.0
+				for k := 0; k < n; k++ {
+					v += e.V[i*n+k] * e.Values[k] * e.V[j*n+k]
+				}
+				if !almost(v, s.At(i, j), 1e-6*(1+math.Abs(s.At(i, j)))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerMulVec(t *testing.T) {
+	l := &Lower{N: 2, Data: []float64{2, 0, 3, 4}}
+	y := l.MulVec([]float64{1, 1})
+	if y[0] != 2 || y[1] != 7 {
+		t.Errorf("L·x = %v, want [2 7]", y)
+	}
+}
+
+func TestDotPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot did not panic on dimension mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

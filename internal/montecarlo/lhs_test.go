@@ -1,0 +1,97 @@
+package montecarlo_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/leakage"
+	"repro/internal/montecarlo"
+	"repro/internal/stats"
+)
+
+func TestLHSDeterministicAndDistinctFromPlain(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := montecarlo.Run(d, montecarlo.Config{Samples: 100, Seed: 5, Sampling: montecarlo.LatinHypercube})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := montecarlo.Run(d, montecarlo.Config{Samples: 100, Seed: 5, Sampling: montecarlo.LatinHypercube, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.DelaysPs {
+		if a.DelaysPs[i] != b.DelaysPs[i] {
+			t.Fatal("LHS not deterministic across worker counts")
+		}
+	}
+	plain, err := montecarlo.Run(d, montecarlo.Config{Samples: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.DelaysPs {
+		if a.DelaysPs[i] == plain.DelaysPs[i] {
+			same++
+		}
+	}
+	if same == len(a.DelaysPs) {
+		t.Error("LHS produced the same dies as plain sampling")
+	}
+}
+
+func TestLHSUnbiased(t *testing.T) {
+	// LHS must estimate the same distribution: mean leakage within a
+	// few percent of the analytic value at a modest sample count.
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := leakage.Exact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := montecarlo.Run(d, montecarlo.Config{Samples: 800, Seed: 9, Sampling: montecarlo.LatinHypercube})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.LeakSummary().Mean-an.MeanNW) / an.MeanNW; rel > 0.04 {
+		t.Errorf("LHS mean off by %.1f%%", rel*100)
+	}
+}
+
+func TestLHSReducesMeanEstimatorVariance(t *testing.T) {
+	// The point of stratification: across independent repeats at small
+	// N, the spread of the mean-leakage estimate must shrink
+	// substantially vs plain sampling (leakage is dominated by the
+	// shared D2D/correlated exponent, which LHS stratifies).
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const repeats = 12
+	const n = 150
+	var plainMeans, lhsMeans []float64
+	for r := 0; r < repeats; r++ {
+		seed := int64(1000 + 17*r)
+		p, err := montecarlo.Run(d, montecarlo.Config{Samples: n, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := montecarlo.Run(d, montecarlo.Config{Samples: n, Seed: seed, Sampling: montecarlo.LatinHypercube})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainMeans = append(plainMeans, p.LeakSummary().Mean)
+		lhsMeans = append(lhsMeans, l.LeakSummary().Mean)
+	}
+	sdPlain := stats.StdDev(plainMeans)
+	sdLHS := stats.StdDev(lhsMeans)
+	t.Logf("mean-leak estimator spread: plain %.1f nW, LHS %.1f nW", sdPlain, sdLHS)
+	if sdLHS >= sdPlain {
+		t.Errorf("LHS did not reduce estimator variance: %.1f vs %.1f", sdLHS, sdPlain)
+	}
+}

@@ -1,0 +1,209 @@
+// Package montecarlo is the golden-reference evaluator: it samples the
+// variation model directly (shared globals + per-gate private terms),
+// re-evaluates the exact nonlinear delay and exponential leakage
+// models per sample, and runs a deterministic STA max per die. SSTA
+// and the lognormal leakage fit are validated against it (experiment
+// T4), and final optimizer results are scored with it (T3).
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/sta"
+	"repro/internal/stats"
+	"repro/internal/tech"
+)
+
+// Sampling selects the sampling scheme for the shared variation
+// globals.
+type Sampling uint8
+
+const (
+	// PlainSampling draws i.i.d. standard normals (the default).
+	PlainSampling Sampling = iota
+	// LatinHypercube stratifies each global dimension into one stratum
+	// per sample (variance reduction on the D2D/spatially-correlated
+	// components, which dominate the mean estimates). Per-gate private
+	// terms remain i.i.d. — their dimension is too high to stratify,
+	// and they average out within a die anyway.
+	LatinHypercube
+)
+
+// Config controls a Monte Carlo run.
+type Config struct {
+	Samples  int
+	Seed     int64
+	Workers  int // 0 ⇒ GOMAXPROCS
+	Sampling Sampling
+}
+
+// DefaultConfig returns the sample budget used by the experiments.
+func DefaultConfig() Config { return Config{Samples: 2000, Seed: 1} }
+
+// Result holds per-sample circuit metrics. Samples are index-aligned:
+// sample i used the same die (same parameter draw) for both metrics.
+type Result struct {
+	DelaysPs []float64 // circuit delay per sample [ps]
+	LeaksNW  []float64 // total leakage per sample [nW]
+}
+
+// TimingYield returns the fraction of samples meeting tmax.
+func (r *Result) TimingYield(tmax float64) float64 {
+	if len(r.DelaysPs) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, d := range r.DelaysPs {
+		if d <= tmax {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(r.DelaysPs))
+}
+
+// DelaySummary summarizes the delay samples.
+func (r *Result) DelaySummary() stats.Summary { return stats.Summarize(r.DelaysPs) }
+
+// LeakSummary summarizes the leakage samples.
+func (r *Result) LeakSummary() stats.Summary { return stats.Summarize(r.LeaksNW) }
+
+// LeakQuantile returns the empirical p-quantile of total leakage.
+func (r *Result) LeakQuantile(p float64) float64 { return stats.Percentile(r.LeaksNW, p) }
+
+// DelayQuantile returns the empirical p-quantile of circuit delay.
+func (r *Result) DelayQuantile(p float64) float64 { return stats.Percentile(r.DelaysPs, p) }
+
+// Run executes the Monte Carlo. Results are deterministic for a given
+// (design, Config.Samples, Config.Seed) regardless of Workers: each
+// sample derives its RNG stream from Seed and its own index.
+func Run(d *core.Design, cfg Config) (*Result, error) {
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("montecarlo: Samples %d must be > 0", cfg.Samples)
+	}
+	order, err := d.Circuit.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Samples {
+		workers = cfg.Samples
+	}
+
+	// Freeze the per-gate electrical context: loads do not change
+	// during an MC run, so hoist them out of the per-sample loop.
+	n := d.Circuit.NumNodes()
+	type gctx struct {
+		ty     logic.GateType
+		vth    uint8
+		size   float64
+		load   float64
+		x, y   float64
+		isGate bool
+	}
+	gs := make([]gctx, n)
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		gs[g.ID] = gctx{
+			ty:     g.Type,
+			vth:    uint8(d.Vth[g.ID]),
+			size:   d.Size[g.ID],
+			load:   d.Load(g.ID),
+			x:      g.X,
+			y:      g.Y,
+			isGate: true,
+		}
+	}
+
+	// Pre-draw the shared globals when stratifying; the per-sample RNG
+	// stream stays identical either way (the globals draws are simply
+	// replaced), so Plain and LHS runs are comparable die-for-die in
+	// their private components.
+	var lhs [][]float64
+	if cfg.Sampling == LatinHypercube {
+		lhs = latinHypercube(cfg.Samples, d.Var.NumPC, cfg.Seed)
+	}
+
+	res := &Result{
+		DelaysPs: make([]float64, cfg.Samples),
+		LeaksNW:  make([]float64, cfg.Samples),
+	}
+	var wg sync.WaitGroup
+	chunk := (cfg.Samples + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > cfg.Samples {
+			hi = cfg.Samples
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			delays := make([]float64, n)
+			scratch := make([]float64, n)
+			lib := d.Lib
+			vm := d.Var
+			for s := lo; s < hi; s++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
+				die := vm.SampleGlobals(rng)
+				if lhs != nil {
+					die.Z = lhs[s]
+				}
+				leak := 0.0
+				for id := range gs {
+					g := &gs[id]
+					if !g.isGate {
+						delays[id] = 0
+						continue
+					}
+					dL := vm.DeltaL(die, g.x, g.y, rng.NormFloat64())
+					dV := vm.DeltaVth(rng.NormFloat64())
+					vth := tech.VthClass(g.vth)
+					delays[id] = lib.DelayWith(g.ty, vth, g.size, g.load, dL, dV)
+					leak += lib.LeakWith(g.ty, vth, g.size, dL, dV)
+				}
+				res.DelaysPs[s] = sta.MaxDelayWithDelays(d.Circuit, order, delays, scratch, d.Lib.P.DffSetupPs)
+				res.LeaksNW[s] = leak
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// latinHypercube draws n stratified standard-normal vectors of
+// dimension k: each dimension is cut into n equal-probability strata,
+// each stratum used exactly once (in a seeded random order), and the
+// point placed uniformly within its stratum before mapping through
+// the normal quantile.
+func latinHypercube(n, k int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, k)
+	}
+	perm := make([]int, n)
+	for dim := 0; dim < k; dim++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i < n; i++ {
+			u := (float64(perm[i]) + rng.Float64()) / float64(n)
+			out[i][dim] = stats.NormalQuantile(u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/ssta"
+	"repro/internal/tech"
+)
+
+// AnnealConfig tunes the simulated-annealing optimizer. Annealing is
+// not the paper's algorithm — it is the classic global-search
+// comparison point (ablation A4) used to judge how close the greedy
+// sensitivity heuristic gets to a slower, assumption-free search.
+type AnnealConfig struct {
+	Moves     int     // total proposed moves
+	StartTemp float64 // initial temperature, as a fraction of the initial objective
+	EndTemp   float64 // final temperature fraction
+	Seed      int64
+	// YieldPenalty scales the constraint-violation term: objective =
+	// q_pct(leak) · (1 + YieldPenalty·max(0, η−yield)).
+	YieldPenalty float64
+}
+
+// DefaultAnnealConfig returns a schedule sized for the ablation
+// circuits (a few hundred gates).
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{
+		Moves:        20000,
+		StartTemp:    0.05,
+		EndTemp:      0.0005,
+		Seed:         1,
+		YieldPenalty: 200,
+	}
+}
+
+// Anneal runs simulated annealing over the (Vth, size) assignment,
+// minimizing the objective leakage percentile with a smooth penalty
+// for missing the timing-yield target. Every accepted state is
+// evaluated with a full SSTA (no incremental shortcuts), so this is
+// slow but unbiased; the final state is the best feasible one seen.
+func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
+	start := time.Now()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &StatResult{}
+
+	acc, err := leakage.NewAccumulator(d)
+	if err != nil {
+		return nil, err
+	}
+	evalObjective := func() (obj, yield, q float64, err error) {
+		sr, err := ssta.Analyze(d)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		yield = sr.Yield(o.TmaxPs)
+		q = acc.Quantile(o.LeakPercentile)
+		obj = q * (1 + cfg.YieldPenalty*math.Max(0, o.YieldTarget-yield))
+		return obj, yield, q, nil
+	}
+
+	var gates []int
+	for _, g := range d.Circuit.Gates() {
+		if g.Type.Arity() > 0 || g.Type.Sequential() {
+			gates = append(gates, g.ID)
+		}
+	}
+
+	cur, yield, q, err := evalObjective()
+	if err != nil {
+		return nil, err
+	}
+	bestFeasible := math.Inf(1)
+	var bestState *core.Design
+	if yield >= o.YieldTarget {
+		bestFeasible = q
+		bestState = d.Clone()
+	}
+	t0 := cfg.StartTemp * cur
+	t1 := cfg.EndTemp * cur
+	if t1 <= 0 {
+		t1 = 1e-12
+	}
+
+	for m := 0; m < cfg.Moves; m++ {
+		temp := t0 * math.Pow(t1/t0, float64(m)/float64(cfg.Moves))
+		id := gates[rng.Intn(len(gates))]
+
+		// Propose: flip Vth, or step the size one notch either way.
+		var undo func()
+		switch {
+		case o.EnableVth && (!o.EnableSizing || rng.Intn(2) == 0):
+			old := d.Vth[id]
+			next := tech.LowVth
+			if old == tech.LowVth {
+				next = tech.HighVth
+			}
+			mustNoErr(d.SetVth(id, next))
+			undo = func() { mustNoErr(d.SetVth(id, old)) }
+		default:
+			si := d.Lib.SizeIndex(d.Size[id])
+			var ni int
+			if si == 0 {
+				ni = 1
+			} else if si == len(d.Lib.Sizes)-1 {
+				ni = si - 1
+			} else if rng.Intn(2) == 0 {
+				ni = si - 1
+			} else {
+				ni = si + 1
+			}
+			old := d.Lib.Sizes[si]
+			mustNoErr(d.SetSize(id, d.Lib.Sizes[ni]))
+			undo = func() { mustNoErr(d.SetSize(id, old)) }
+		}
+		acc.Update(id)
+
+		cand, candYield, candQ, err := evalObjective()
+		if err != nil {
+			return nil, err
+		}
+		accept := cand <= cur || rng.Float64() < math.Exp((cur-cand)/temp)
+		if !accept {
+			undo()
+			acc.Update(id)
+			continue
+		}
+		cur = cand
+		res.Moves++
+		if candYield >= o.YieldTarget && candQ < bestFeasible {
+			bestFeasible = candQ
+			bestState = d.Clone()
+		}
+	}
+	if bestState != nil {
+		d.CopyAssignmentFrom(bestState)
+	}
+	return finishStat(d, o, res, start)
+}

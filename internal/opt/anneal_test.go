@@ -1,0 +1,86 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+)
+
+func TestAnnealFindsFeasibleLowLeakage(t *testing.T) {
+	base := suite(t, "s432")
+	ref := base.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.DefaultOptions(1.3 * dmin)
+
+	// Start annealing from the greedy statistical solution's scale of
+	// problem but a fresh min-size state; a modest budget must find a
+	// feasible state meaningfully below the unoptimized q99.
+	an := base.Clone()
+	cfg := opt.DefaultAnnealConfig()
+	cfg.Moves = 4000 // keep the unit test fast
+	res, err := opt.Anneal(an, o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("annealing found no feasible state: yield %g", res.YieldAtTmax)
+	}
+	unopt, err := opt.EvaluateStatistical(base, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeakPctNW >= unopt.LeakPctNW {
+		t.Errorf("annealed q99 %g not below unoptimized %g", res.LeakPctNW, unopt.LeakPctNW)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	base := suite(t, "s432")
+	ref := base.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.DefaultOptions(1.35 * dmin)
+	cfg := opt.DefaultAnnealConfig()
+	cfg.Moves = 800
+
+	a := base.Clone()
+	ra, err := opt.Anneal(a, o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base.Clone()
+	rb, err := opt.Anneal(b, o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.LeakPctNW != rb.LeakPctNW || ra.Moves != rb.Moves {
+		t.Error("annealing not deterministic for a fixed seed")
+	}
+	for i := range a.Vth {
+		if a.Vth[i] != b.Vth[i] || a.Size[i] != b.Size[i] {
+			t.Fatal("annealed assignments differ across identical runs")
+		}
+	}
+}
+
+func TestAnnealRespectsMoveToggles(t *testing.T) {
+	base := suite(t, "s432")
+	o := opt.DefaultOptions(1e6) // loose: anything is feasible
+	o.EnableSizing = false
+	cfg := opt.DefaultAnnealConfig()
+	cfg.Moves = 500
+	d := base.Clone()
+	if _, err := opt.Anneal(d, o, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range d.Circuit.Gates() {
+		if d.Size[g.ID] != d.Lib.Sizes[0] {
+			t.Fatal("annealing changed a size with sizing disabled")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package opt
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+	"repro/internal/ssta"
+	"repro/internal/stats"
+	"repro/internal/tech"
+)
+
+// DualResult reports a delay-minimization-under-leakage-budget run.
+type DualResult struct {
+	Feasible     bool    // budget admits at least the all-HVT/min-size start
+	DelayQPs     float64 // achieved eta-quantile of circuit delay [ps]
+	LeakPctNW    float64 // objective-percentile leakage at exit [nW]
+	BudgetNW     float64
+	Moves        int
+	SwapsToLVT   int
+	SizeUps      int
+	Runtime      time.Duration
+	YieldTargetQ float64 // the eta used for the delay quantile
+}
+
+// MinimizeDelayUnderLeakBudget solves the dual of the paper's problem
+// — the "parametric yield maximization" formulation of the follow-on
+// literature: make the circuit as fast (at the eta-quantile) as the
+// statistical leakage budget allows. Starting from the least-leaky
+// implementation (all HVT, minimum size), it greedily applies the
+// speedup move (HVT→LVT swap or one-step upsize on the statistically
+// critical path) with the best quantile-delay reduction per leakage
+// spent, while the budget — on the o.LeakPercentile percentile of
+// total leakage — holds.
+func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (*DualResult, error) {
+	start := time.Now()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	res := &DualResult{BudgetNW: budgetNW, YieldTargetQ: o.YieldTarget}
+	kappa := stats.NormalQuantile(o.YieldTarget)
+
+	// Least-leaky start.
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		if o.EnableVth {
+			mustNoErr(d.SetVth(g.ID, tech.HighVth))
+		}
+		mustNoErr(d.SetSize(g.ID, d.Lib.Sizes[0]))
+	}
+	acc, err := leakage.NewAccumulator(d)
+	if err != nil {
+		return nil, err
+	}
+	if acc.Quantile(o.LeakPercentile) > budgetNW {
+		res.Runtime = time.Since(start)
+		return res, nil // even the floor exceeds the budget
+	}
+	res.Feasible = true
+
+	maxMoves := o.MaxMoves
+	if maxMoves == 0 {
+		maxMoves = 10 * d.Circuit.NumGates()
+	}
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	blacklist := make(map[moveKey]bool)
+	for res.Moves < maxMoves {
+		path := statCriticalPath(d, sr, kappa)
+		q0 := sr.Quantile(o.YieldTarget)
+
+		// Best speedup candidate on the statistically critical path,
+		// scored by local delay gain per leakage spent.
+		bestID, bestKind := -1, moveSwapLVT
+		bestScore := 0.0
+		for _, id := range path {
+			g := d.Circuit.Gate(id)
+			if g.Type == logic.Input {
+				continue
+			}
+			dNow := d.GateDelay(id)
+			lNow := d.Lib.Leak(g.Type, d.Vth[id], d.Size[id])
+			consider := func(kind moveKind, dNew, lNew float64) {
+				if blacklist[moveKey{id, kind}] {
+					return
+				}
+				gain := dNow - dNew
+				cost := lNew - lNow
+				if gain <= 0 || cost <= 0 {
+					return
+				}
+				if score := gain / cost; score > bestScore {
+					bestScore = score
+					bestID = id
+					bestKind = kind
+				}
+			}
+			if o.EnableVth && d.Vth[id] == tech.HighVth {
+				consider(moveSwapLVT,
+					d.Lib.Delay(g.Type, tech.LowVth, d.Size[id], d.Load(id)),
+					d.Lib.Leak(g.Type, tech.LowVth, d.Size[id]))
+			}
+			if o.EnableSizing {
+				if si := d.Lib.SizeIndex(d.Size[id]); si+1 < len(d.Lib.Sizes) {
+					s := d.Lib.Sizes[si+1]
+					consider(moveSizeUp,
+						d.Lib.Delay(g.Type, d.Vth[id], s, d.Load(id)),
+						d.Lib.Leak(g.Type, d.Vth[id], s))
+				}
+			}
+		}
+		if bestID < 0 {
+			break
+		}
+		// Apply the speedup move.
+		var undo func()
+		if bestKind == moveSwapLVT {
+			mustNoErr(d.SetVth(bestID, tech.LowVth))
+			undo = func() { mustNoErr(d.SetVth(bestID, tech.HighVth)) }
+		} else {
+			si := d.Lib.SizeIndex(d.Size[bestID])
+			old := d.Lib.Sizes[si]
+			mustNoErr(d.SetSize(bestID, d.Lib.Sizes[si+1]))
+			undo = func() { mustNoErr(d.SetSize(bestID, old)) }
+		}
+		acc.Update(bestID)
+		sr2, err := ssta.Analyze(d)
+		if err != nil {
+			return nil, err
+		}
+		// Keep only moves that respect the budget and actually help
+		// the delay quantile.
+		if acc.Quantile(o.LeakPercentile) > budgetNW || sr2.Quantile(o.YieldTarget) >= q0-slackEps {
+			undo()
+			acc.Update(bestID)
+			blacklist[moveKey{bestID, bestKind}] = true
+			continue
+		}
+		sr = sr2
+		res.Moves++
+		if bestKind == moveSwapLVT {
+			res.SwapsToLVT++
+		} else {
+			res.SizeUps++
+		}
+	}
+	res.DelayQPs = sr.Quantile(o.YieldTarget)
+	res.LeakPctNW = acc.Quantile(o.LeakPercentile)
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// LeakDelayTradeoff sweeps leakage budgets and returns the achieved
+// delay quantiles — the dual-side view of the leakage/delay Pareto
+// front. budgets must be ascending; each point runs the dual optimizer
+// from scratch on a clone.
+func LeakDelayTradeoff(d *core.Design, o Options, budgets []float64) ([]DualResult, error) {
+	out := make([]DualResult, 0, len(budgets))
+	for _, b := range budgets {
+		cl := d.Clone()
+		r, err := MinimizeDelayUnderLeakBudget(cl, o, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	// Sanity: more budget can only help (monotone non-increasing delay).
+	for i := 1; i < len(out); i++ {
+		if out[i].Feasible && out[i-1].Feasible && out[i].DelayQPs > out[i-1].DelayQPs+1e-6 {
+			// Greedy noise can break monotonicity slightly; carry the
+			// better point forward so the reported front is consistent.
+			out[i].DelayQPs = math.Min(out[i].DelayQPs, out[i-1].DelayQPs)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+	"repro/internal/opt"
+	"repro/internal/tech"
+)
+
+func TestDualInfeasibleBudget(t *testing.T) {
+	d := suite(t, "s432")
+	o := opt.DefaultOptions(1e6)
+	res, err := opt.MinimizeDelayUnderLeakBudget(d.Clone(), o, 1) // 1 nW: impossible
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("1 nW budget reported feasible")
+	}
+}
+
+func TestDualRespectsBudget(t *testing.T) {
+	d := suite(t, "s432")
+	o := opt.DefaultOptions(1e6)
+	// Budget: 2× the all-HVT/min-size floor.
+	floor := allHVTFloor(t, d)
+	budget := 2 * floor
+	work := d.Clone()
+	res, err := opt.MinimizeDelayUnderLeakBudget(work, o, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("budget %g infeasible (floor %g)", budget, floor)
+	}
+	if res.LeakPctNW > budget+1e-6 {
+		t.Errorf("exit leakage %g exceeds budget %g", res.LeakPctNW, budget)
+	}
+	if res.Moves == 0 {
+		t.Error("no speedup moves applied with 2x headroom")
+	}
+	// Spending budget must have bought speed vs the floor design.
+	floorDesign := d.Clone()
+	fres, err := opt.MinimizeDelayUnderLeakBudget(floorDesign, o, floor*1.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DelayQPs >= fres.DelayQPs {
+		t.Errorf("2x budget delay %g not below floor-budget delay %g", res.DelayQPs, fres.DelayQPs)
+	}
+}
+
+func TestLeakDelayTradeoffMonotone(t *testing.T) {
+	d := suite(t, "s432")
+	o := opt.DefaultOptions(1e6)
+	floor := allHVTFloor(t, d)
+	budgets := []float64{floor * 1.1, floor * 1.5, floor * 2.5, floor * 5}
+	front, err := opt.LeakDelayTradeoff(d, o, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != len(budgets) {
+		t.Fatalf("front size %d", len(front))
+	}
+	for i, r := range front {
+		if !r.Feasible {
+			t.Fatalf("budget %g infeasible", budgets[i])
+		}
+		if r.LeakPctNW > budgets[i]+1e-6 {
+			t.Fatalf("point %d violates its budget", i)
+		}
+		if i > 0 && r.DelayQPs > front[i-1].DelayQPs+1e-6 {
+			t.Fatalf("front not monotone at %d", i)
+		}
+	}
+	// The sweep must show a real trade-off: the richest budget is
+	// meaningfully faster than the poorest.
+	if front[len(front)-1].DelayQPs > 0.95*front[0].DelayQPs {
+		t.Errorf("trade-off too flat: %g vs %g", front[len(front)-1].DelayQPs, front[0].DelayQPs)
+	}
+}
+
+// allHVTFloor computes the q99 leakage of the least-leaky
+// implementation (all HVT, minimum size).
+func allHVTFloor(t testing.TB, d *core.Design) float64 {
+	t.Helper()
+	cl := d.Clone()
+	for _, g := range cl.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		if err := cl.SetVth(g.ID, tech.HighVth); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SetSize(g.ID, cl.Lib.Sizes[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := leakage.Exact(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an.Quantile(0.99)
+}

@@ -1,0 +1,117 @@
+// Package opt contains the optimization algorithms: the deterministic
+// dual-Vth + sizing baseline (nominal delay constraint with a designer
+// guard band — the approach the paper argues against) and the
+// statistical optimizer (the paper's contribution: minimize a high
+// percentile of the total-leakage distribution subject to a
+// timing-yield constraint evaluated with SSTA).
+//
+// Both optimizers share a move set over the per-gate assignment:
+//
+//   - size-up one ladder step (phase A, to meet the delay target),
+//   - LVT→HVT swap and size-down one step (phase B, to recover
+//     leakage inside the available timing margin).
+//
+// Phase-B moves only ever slow the gate itself (a size-down even
+// speeds up its drivers), so "own delay increase ≤ slack of the gate"
+// is an exact feasibility condition under nominal STA, and its
+// mean+κσ analogue is the ranking heuristic under SSTA (with a full
+// SSTA yield check and rollback as the safety net).
+package opt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options configures an optimization run.
+type Options struct {
+	// TmaxPs is the delay constraint [ps] the shipped circuit must
+	// meet.
+	TmaxPs float64
+	// CornerSigma is the deterministic baseline's worst-case corner:
+	// it times every gate with the systematic channel-length variation
+	// pushed this many sigmas slow (all gates simultaneously — the
+	// classic corner-file pessimism). Ignored by Statistical, which
+	// constrains the actual timing yield instead.
+	CornerSigma float64
+	// YieldTarget η is the required P(delay ≤ TmaxPs) for the
+	// statistical optimizer. Ignored by Deterministic.
+	YieldTarget float64
+	// LeakPercentile is the percentile of total leakage the
+	// statistical optimizer minimizes (e.g. 0.99).
+	LeakPercentile float64
+	// EnableVth and EnableSizing select the move set (both true in the
+	// headline experiments; the A1 ablation toggles them).
+	EnableVth    bool
+	EnableSizing bool
+	// MaxMoves caps the total number of applied moves (0 ⇒ 10×gates).
+	MaxMoves int
+}
+
+// DefaultOptions returns the experiment defaults for a given delay
+// constraint: 3σ deterministic corner, 99% yield target,
+// 99th-percentile leakage objective, full move set.
+func DefaultOptions(tmaxPs float64) Options {
+	return Options{
+		TmaxPs:         tmaxPs,
+		CornerSigma:    3.0,
+		YieldTarget:    0.99,
+		LeakPercentile: 0.99,
+		EnableVth:      true,
+		EnableSizing:   true,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	switch {
+	case o.TmaxPs <= 0:
+		return fmt.Errorf("opt: TmaxPs %g must be > 0", o.TmaxPs)
+	case o.CornerSigma < 0 || o.CornerSigma > 6:
+		return fmt.Errorf("opt: CornerSigma %g outside [0,6]", o.CornerSigma)
+	case o.YieldTarget <= 0 || o.YieldTarget >= 1:
+		return fmt.Errorf("opt: YieldTarget %g outside (0,1)", o.YieldTarget)
+	case o.LeakPercentile <= 0 || o.LeakPercentile >= 1:
+		return fmt.Errorf("opt: LeakPercentile %g outside (0,1)", o.LeakPercentile)
+	case !o.EnableVth && !o.EnableSizing:
+		return fmt.Errorf("opt: empty move set (enable Vth and/or sizing)")
+	case o.MaxMoves < 0:
+		return fmt.Errorf("opt: MaxMoves %d must be >= 0", o.MaxMoves)
+	}
+	return nil
+}
+
+// Result reports what an optimizer did. The optimized assignment lives
+// in the Design passed to the optimizer (mutated in place).
+type Result struct {
+	Feasible bool // delay/yield constraint met at exit
+
+	NominalDelayPs float64 // nominal STA delay at exit
+	NominalLeakNW  float64 // nominal leakage at exit
+
+	SizeUps   int
+	VthSwaps  int
+	SizeDowns int
+	Moves     int // total applied (and kept) moves
+
+	Runtime time.Duration
+}
+
+// moveKind labels move types for blacklisting. The first two are the
+// leakage-recovery (phase-B) moves; the last two are their inverses,
+// used by the dual (delay-under-leak-budget) optimizer.
+type moveKind uint8
+
+const (
+	moveSwapHVT moveKind = iota
+	moveSizeDown
+	moveSwapLVT
+	moveSizeUp
+)
+
+type moveKey struct {
+	id   int
+	kind moveKind
+}
+
+const slackEps = 1e-9

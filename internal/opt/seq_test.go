@@ -1,0 +1,116 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/opt"
+	"repro/internal/ssta"
+)
+
+// TestSequentialOptimizationEndToEnd runs the full headline flow on a
+// sequential circuit: both optimizers, feasibility at the clock-period
+// constraint, the statistical advantage, and MC confirmation. This is
+// the integration test for the DFF timing semantics threaded through
+// sta/ssta/opt/montecarlo.
+func TestSequentialOptimizationEndToEnd(t *testing.T) {
+	base := suite(t, "q1423")
+	if !base.Circuit.Sequential() {
+		t.Fatal("fixture lost the flip-flops")
+	}
+	ref := base.Clone()
+	dmin, err := opt.MinimumDelay(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.DefaultOptions(1.3 * dmin)
+
+	det := base.Clone()
+	if _, err := opt.Deterministic(det, o); err != nil {
+		t.Fatal(err)
+	}
+	detEval, err := opt.EvaluateStatistical(det, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := base.Clone()
+	sres, err := opt.Statistical(st, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Feasible {
+		t.Fatalf("statistical infeasible on sequential circuit: yield %g", sres.YieldAtTmax)
+	}
+	if sres.LeakPctNW >= detEval.LeakPctNW {
+		t.Errorf("statistical q99 %g not below deterministic %g on sequential circuit",
+			sres.LeakPctNW, detEval.LeakPctNW)
+	}
+	// DFFs themselves must be optimizable: some should have gone HVT.
+	hvtFF := 0
+	for _, f := range st.Circuit.Dffs() {
+		if st.Vth[f] == 1 { // tech.HighVth
+			hvtFF++
+		}
+	}
+	if hvtFF == 0 {
+		t.Error("no flip-flop was moved to HVT; FFs excluded from the move set?")
+	}
+	// MC confirms the sequential yield claim (min clock period per die).
+	mc, err := montecarlo.Run(st, montecarlo.Config{Samples: 1000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := mc.TimingYield(o.TmaxPs); y < o.YieldTarget-0.03 {
+		t.Errorf("MC yield %g far below target", y)
+	}
+}
+
+func TestSequentialSSTAConsistency(t *testing.T) {
+	d := suite(t, "q344")
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Delay.Mean <= 0 || sr.Delay.Sigma() <= 0 {
+		t.Fatal("degenerate sequential SSTA")
+	}
+	// FF arrivals are their own canonical clock-to-Q forms.
+	for _, f := range d.Circuit.Dffs() {
+		want := ssta.GateDelayCanonical(d, f)
+		got := sr.Arrivals[f]
+		if got.Mean != want.Mean || got.Rand != want.Rand {
+			t.Fatalf("DFF %d arrival form differs from its clk-to-Q form", f)
+		}
+	}
+	// MC agreement on the min clock period.
+	mc, err := montecarlo.Run(d, montecarlo.Config{Samples: 2000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := mc.DelaySummary()
+	if rel := abs(sr.Delay.Mean-ds.Mean) / ds.Mean; rel > 0.05 {
+		t.Errorf("sequential SSTA mean %g vs MC %g (%.1f%%)", sr.Delay.Mean, ds.Mean, rel*100)
+	}
+	// Launch points: FF gates must not appear mid-path in the stat
+	// critical walk semantics — indirectly checked by the optimizer
+	// test above; here check levels.
+	lv, err := d.Circuit.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range d.Circuit.Dffs() {
+		if lv[f] != 0 {
+			t.Errorf("DFF %d at level %d, want 0", f, lv[f])
+		}
+	}
+	_ = logic.Dff
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,416 @@
+package opt
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+	"repro/internal/ssta"
+	"repro/internal/stats"
+	"repro/internal/tech"
+)
+
+// StatResult extends Result with the statistical end-state metrics.
+type StatResult struct {
+	Result
+	YieldAtTmax  float64 // SSTA timing yield at Tmax on exit
+	LeakMeanNW   float64 // statistical mean leakage on exit
+	LeakPctNW    float64 // objective percentile of leakage on exit
+	DelayMeanPs  float64
+	DelaySigmaPs float64
+}
+
+// Statistical runs the paper's optimizer. Phase A upsizes
+// statistically critical gates until the SSTA timing yield at Tmax
+// reaches the target η. Phase B greedily applies the leakage-recovery
+// move with the best reduction of the objective leakage percentile per
+// unit of statistical timing metric consumed, batch-accepting against
+// per-gate statistical slacks and verifying each batch with a full
+// SSTA (rolling back just enough moves to restore feasibility).
+func Statistical(d *core.Design, o Options) (*StatResult, error) {
+	start := time.Now()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	res := &StatResult{}
+	kappa := stats.NormalQuantile(o.YieldTarget)
+
+	var best *core.Design
+	bestQ := math.Inf(1)
+
+	margins := phaseAMargins
+	if !o.EnableSizing {
+		margins = margins[:1]
+	}
+	for _, m := range margins {
+		if err := statPhaseA(d, o, kappa, o.TmaxPs*m, res); err != nil {
+			return nil, err
+		}
+		sr, err := ssta.Analyze(d)
+		if err != nil {
+			return nil, err
+		}
+		if sr.Quantile(o.YieldTarget) > o.TmaxPs {
+			break // the real yield constraint is out of reach
+		}
+		if err := statPhaseB(d, o, res); err != nil {
+			return nil, err
+		}
+		an, err := leakage.Exact(d)
+		if err != nil {
+			return nil, err
+		}
+		if q := an.Quantile(o.LeakPercentile); q < bestQ {
+			bestQ = q
+			best = d.Clone()
+		}
+	}
+	if best != nil {
+		d.CopyAssignmentFrom(best)
+	}
+	return finishStat(d, o, res, start)
+}
+
+// statPhaseA upsizes statistically critical gates until the
+// eta-quantile of circuit delay meets target (or no move helps).
+func statPhaseA(d *core.Design, o Options, kappa, target float64, res *StatResult) error {
+	if !o.EnableSizing {
+		return nil
+	}
+	maxMoves := o.MaxMoves
+	if maxMoves == 0 {
+		maxMoves = 10 * d.Circuit.NumGates()
+	}
+	inc, err := ssta.NewIncremental(d)
+	if err != nil {
+		return err
+	}
+	blacklist := make(map[int]bool)
+	for iter := 0; inc.Result().Quantile(o.YieldTarget) > target; iter++ {
+		if res.Moves >= maxMoves {
+			break
+		}
+		path := statCriticalPath(d, inc.Result(), kappa)
+		bestID := -1
+		bestEst := -slackEps
+		for _, id := range path {
+			g := d.Circuit.Gate(id)
+			if g.Type == logic.Input || blacklist[id] {
+				continue
+			}
+			si := d.Lib.SizeIndex(d.Size[id])
+			if si+1 >= len(d.Lib.Sizes) {
+				continue
+			}
+			if est := upsizeEstimate(d, id, d.Lib.Sizes[si+1], 0, 0); est < bestEst {
+				bestEst = est
+				bestID = id
+			}
+		}
+		if bestID < 0 {
+			break
+		}
+		q0 := inc.Result().Quantile(o.YieldTarget)
+		oldSize := d.Size[bestID]
+		si := d.Lib.SizeIndex(oldSize)
+		mustNoErr(d.SetSize(bestID, d.Lib.Sizes[si+1]))
+		inc.Update(bestID)
+		if inc.Result().Quantile(o.YieldTarget) >= q0-slackEps {
+			mustNoErr(d.SetSize(bestID, oldSize))
+			inc.Update(bestID)
+			blacklist[bestID] = true
+			continue
+		}
+		res.Moves++
+		res.SizeUps++
+		if len(blacklist) > 0 && iter%16 == 0 {
+			blacklist = make(map[int]bool)
+		}
+	}
+	return nil
+}
+
+// statPhaseB drains yield-feasible leakage-recovery moves, batch-
+// accepting against per-gate statistical slacks with SSTA rollback.
+// Timing is maintained incrementally: only the fanout cones of moved
+// gates are re-timed, which is what keeps large-circuit optimization
+// in seconds.
+func statPhaseB(d *core.Design, o Options, res *StatResult) error {
+	acc, err := leakage.NewAccumulator(d)
+	if err != nil {
+		return err
+	}
+	inc, err := ssta.NewIncremental(d)
+	if err != nil {
+		return err
+	}
+	maxMoves := o.MaxMoves
+	if maxMoves == 0 {
+		maxMoves = 10 * d.Circuit.NumGates()
+	}
+	blocked := make(map[moveKey]bool)
+	// Batch size: enough to amortize the slack refresh, small enough
+	// that per-gate slack bookkeeping stays honest.
+	batchCap := d.Circuit.NumGates() / 64
+	if batchCap < 4 {
+		batchCap = 4
+	}
+	const safety = 0.8 // fraction of a gate's statistical slack a batch may consume
+
+	for res.Moves < maxMoves {
+		sr := inc.Result()
+		slack, err := sr.StatisticalSlack(d, o.TmaxPs, o.YieldTarget)
+		if err != nil {
+			return err
+		}
+		cands := statCandidates(d, o, acc, slack, safety, blocked)
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+
+		// Accept greedily against a consumable per-gate slack budget.
+		budget := make(map[int]float64, batchCap)
+		var applied []statCand
+		for _, cand := range cands {
+			if len(applied) >= batchCap || res.Moves+len(applied) >= maxMoves {
+				break
+			}
+			b, seen := budget[cand.id]
+			if !seen {
+				b = safety * slack[cand.id]
+			}
+			if cand.dMetric > b-slackEps {
+				continue
+			}
+			budget[cand.id] = b - cand.dMetric
+			applyRecovery(d, cand.id, cand.kind)
+			acc.Update(cand.id)
+			inc.Update(cand.id)
+			applied = append(applied, cand)
+		}
+		if len(applied) == 0 {
+			break
+		}
+		// Verify the batch; roll back lowest-value moves until the
+		// yield constraint holds again.
+		for {
+			if inc.Result().Yield(o.TmaxPs) >= o.YieldTarget {
+				break
+			}
+			last := applied[len(applied)-1]
+			applied = applied[:len(applied)-1]
+			revertRecovery(d, last.id, last.kind)
+			acc.Update(last.id)
+			inc.Update(last.id)
+			blocked[moveKey{last.id, last.kind}] = true
+			if len(applied) == 0 {
+				break
+			}
+		}
+		if len(applied) == 0 {
+			// The whole batch bounced: the per-gate slack heuristic is
+			// too optimistic here; stop rather than thrash.
+			break
+		}
+		for _, cand := range applied {
+			res.Moves++
+			if cand.kind == moveSwapHVT {
+				res.VthSwaps++
+			} else {
+				res.SizeDowns++
+			}
+		}
+	}
+
+	// Polish: the batch heuristic under-uses the last sliver of slack
+	// (safety factor, whole-batch bounces). Drain the boundary with
+	// exact single-move accepts: apply the best-scoring candidate,
+	// verify the yield (incrementally re-timed), keep or
+	// revert-and-block.
+	for res.Moves < maxMoves {
+		sr := inc.Result()
+		slack, err := sr.StatisticalSlack(d, o.TmaxPs, o.YieldTarget)
+		if err != nil {
+			return err
+		}
+		cands := statCandidates(d, o, acc, slack, 1.0, blocked)
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+		accepted := false
+		for _, cand := range cands {
+			applyRecovery(d, cand.id, cand.kind)
+			acc.Update(cand.id)
+			inc.Update(cand.id)
+			if inc.Result().Yield(o.TmaxPs) < o.YieldTarget {
+				revertRecovery(d, cand.id, cand.kind)
+				acc.Update(cand.id)
+				inc.Update(cand.id)
+				blocked[moveKey{cand.id, cand.kind}] = true
+				continue
+			}
+			res.Moves++
+			if cand.kind == moveSwapHVT {
+				res.VthSwaps++
+			} else {
+				res.SizeDowns++
+			}
+			accepted = true
+			break
+		}
+		if !accepted {
+			break
+		}
+	}
+	return nil
+}
+
+// statCand is one scored phase-B candidate.
+type statCand struct {
+	id      int
+	kind    moveKind
+	dMetric float64 // increase of the gate's mean+κσ delay metric
+	score   float64 // Δ(objective leakage percentile) per dMetric
+}
+
+// statCandidates scores every feasible phase-B move by its reduction
+// of the objective leakage percentile (via a tentative accumulator
+// update) per unit of mean-delay slack consumed. Mean delay is the
+// right currency against StatisticalSlack's sigma-adjusted budget;
+// the move's (small) effect on the circuit sigma is caught by the
+// full-SSTA batch verification.
+func statCandidates(d *core.Design, o Options, acc *leakage.Accumulator,
+	slack []float64, safety float64, blocked map[moveKey]bool) []statCand {
+
+	q0 := acc.Quantile(o.LeakPercentile)
+	var out []statCand
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		id := g.ID
+		if slack[id] <= slackEps {
+			continue
+		}
+		m0 := d.GateDelay(id)
+
+		try := func(kind moveKind, apply, revert func()) {
+			if blocked[moveKey{id, kind}] {
+				return
+			}
+			apply()
+			dMetric := d.GateDelay(id) - m0
+			if dMetric > safety*slack[id]-slackEps {
+				revert()
+				return
+			}
+			acc.Update(id)
+			dq := q0 - acc.Quantile(o.LeakPercentile)
+			revert()
+			acc.Update(id)
+			if dq <= 0 {
+				return
+			}
+			out = append(out, statCand{
+				id:      id,
+				kind:    kind,
+				dMetric: math.Max(dMetric, 0),
+				score:   dq / math.Max(dMetric, 1e-6),
+			})
+		}
+
+		if o.EnableVth && d.Vth[id] == tech.LowVth {
+			try(moveSwapHVT,
+				func() { mustNoErr(d.SetVth(id, tech.HighVth)) },
+				func() { mustNoErr(d.SetVth(id, tech.LowVth)) })
+		}
+		if o.EnableSizing {
+			if si := d.Lib.SizeIndex(d.Size[id]); si > 0 {
+				lo, hi := d.Lib.Sizes[si-1], d.Lib.Sizes[si]
+				try(moveSizeDown,
+					func() { mustNoErr(d.SetSize(id, lo)) },
+					func() { mustNoErr(d.SetSize(id, hi)) })
+			}
+		}
+	}
+	return out
+}
+
+// statCriticalPath walks back from the statistically worst primary
+// output along the fanin with the largest mean+κσ arrival.
+func statCriticalPath(d *core.Design, sr *ssta.Result, kappa float64) []int {
+	metric := func(id int) float64 {
+		a := sr.Arrivals[id]
+		return a.Mean + kappa*a.Sigma()
+	}
+	// Worst endpoint: primary outputs, or flip-flop captures (data-pin
+	// metric plus setup).
+	setup := d.Lib.P.DffSetupPs
+	worst := d.Circuit.Outputs()[0]
+	worstM := metric(worst)
+	for _, o := range d.Circuit.Outputs()[1:] {
+		if m := metric(o); m > worstM {
+			worst, worstM = o, m
+		}
+	}
+	for _, f := range d.Circuit.Dffs() {
+		if m := metric(d.Circuit.Gate(f).Fanin[0]) + setup; m > worstM {
+			worst, worstM = f, m
+		}
+	}
+	var rev []int
+	id := worst
+	for first := true; ; first = false {
+		rev = append(rev, id)
+		g := d.Circuit.Gate(id)
+		if len(g.Fanin) == 0 || (g.Type == logic.Dff && !first) {
+			break // launch point (PI or flip-flop Q)
+		}
+		best := g.Fanin[0]
+		for _, f := range g.Fanin[1:] {
+			if metric(f) > metric(best) {
+				best = f
+			}
+		}
+		id = best
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// finishStat fills the end-state metrics.
+func finishStat(d *core.Design, o Options, res *StatResult, start time.Time) (*StatResult, error) {
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	an, err := leakage.Exact(d)
+	if err != nil {
+		return nil, err
+	}
+	res.YieldAtTmax = sr.Yield(o.TmaxPs)
+	res.Feasible = res.YieldAtTmax >= o.YieldTarget
+	res.DelayMeanPs = sr.Delay.Mean
+	res.DelaySigmaPs = sr.Delay.Sigma()
+	res.LeakMeanNW = an.MeanNW
+	res.LeakPctNW = an.Quantile(o.LeakPercentile)
+	res.NominalDelayPs = sr.Delay.Mean
+	res.NominalLeakNW = d.TotalLeak()
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// EvaluateStatistical computes the StatResult metrics for an already-
+// optimized (or unoptimized) design without changing it — used to put
+// the deterministic baseline on the same statistical scoreboard.
+func EvaluateStatistical(d *core.Design, o Options) (*StatResult, error) {
+	res := &StatResult{}
+	return finishStat(d, o, res, time.Now())
+}

@@ -1,0 +1,190 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// ActivityConfig controls signal-probability propagation.
+type ActivityConfig struct {
+	// InputProb is P(net=1) assumed at every primary input.
+	InputProb float64
+	// SeqIterations bounds the fixpoint iteration for flip-flop state
+	// probabilities (each iteration propagates one clock cycle).
+	SeqIterations int
+	// Tolerance ends the fixpoint early when no state probability
+	// moves more than this.
+	Tolerance float64
+}
+
+// DefaultActivityConfig assumes uniform random inputs.
+func DefaultActivityConfig() ActivityConfig {
+	return ActivityConfig{InputProb: 0.5, SeqIterations: 32, Tolerance: 1e-9}
+}
+
+// Validate checks the configuration.
+func (c ActivityConfig) Validate() error {
+	if c.InputProb < 0 || c.InputProb > 1 {
+		return fmt.Errorf("power: InputProb %g outside [0,1]", c.InputProb)
+	}
+	if c.SeqIterations < 1 {
+		return fmt.Errorf("power: SeqIterations %d must be >= 1", c.SeqIterations)
+	}
+	return nil
+}
+
+// SignalProbs propagates P(net=1) through the circuit under the
+// input-independence assumption (the classic zero-delay signal
+// probability model). Flip-flop output probabilities are solved by
+// fixpoint iteration over clock cycles: Q's probability next cycle is
+// D's probability this cycle.
+func SignalProbs(d *core.Design, cfg ActivityConfig) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := d.Circuit
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := c.NumNodes()
+	p := make([]float64, n)
+	for _, id := range c.Inputs() {
+		p[id] = cfg.InputProb
+	}
+	for _, f := range c.Dffs() {
+		p[f] = 0.5 // neutral initial state
+	}
+	iters := cfg.SeqIterations
+	if !c.Sequential() {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		for _, id := range order {
+			g := c.Gate(id)
+			if g.Type == logic.Input || g.Type == logic.Dff {
+				continue
+			}
+			p[id] = gateProb(g.Type, g.Fanin, p)
+		}
+		if !c.Sequential() {
+			break
+		}
+		// Clock edge: Q takes D's probability.
+		maxDelta := 0.0
+		for _, f := range c.Dffs() {
+			next := p[c.Gate(f).Fanin[0]]
+			if dl := math.Abs(next - p[f]); dl > maxDelta {
+				maxDelta = dl
+			}
+			p[f] = next
+		}
+		if maxDelta < cfg.Tolerance {
+			break
+		}
+	}
+	// One final combinational settle so all nets reflect the final
+	// state probabilities.
+	for _, id := range order {
+		g := c.Gate(id)
+		if g.Type == logic.Input || g.Type == logic.Dff {
+			continue
+		}
+		p[id] = gateProb(g.Type, g.Fanin, p)
+	}
+	return p, nil
+}
+
+// gateProb computes P(out=1) for one gate from its input
+// probabilities, assuming independence.
+func gateProb(t logic.GateType, fanin []int, p []float64) float64 {
+	switch t {
+	case logic.Buf:
+		return p[fanin[0]]
+	case logic.Inv:
+		return 1 - p[fanin[0]]
+	case logic.And2, logic.And3, logic.And4, logic.Nand2, logic.Nand3, logic.Nand4:
+		v := 1.0
+		for _, f := range fanin {
+			v *= p[f]
+		}
+		if t == logic.Nand2 || t == logic.Nand3 || t == logic.Nand4 {
+			return 1 - v
+		}
+		return v
+	case logic.Or2, logic.Or3, logic.Or4, logic.Nor2, logic.Nor3, logic.Nor4:
+		v := 1.0
+		for _, f := range fanin {
+			v *= 1 - p[f]
+		}
+		if t == logic.Nor2 || t == logic.Nor3 || t == logic.Nor4 {
+			return v
+		}
+		return 1 - v
+	case logic.Xor2:
+		a, b := p[fanin[0]], p[fanin[1]]
+		return a*(1-b) + b*(1-a)
+	case logic.Xnor2:
+		a, b := p[fanin[0]], p[fanin[1]]
+		return 1 - (a*(1-b) + b*(1-a))
+	default:
+		return 0.5
+	}
+}
+
+// Activities returns the per-net switching activity α = 2·p·(1−p)
+// (temporal-independence model): the probability the net toggles in a
+// cycle. Flip-flop outputs switch when the state changes; the same
+// formula applies with the state probability.
+func Activities(d *core.Design, cfg ActivityConfig) ([]float64, error) {
+	p, err := SignalProbs(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := make([]float64, len(p))
+	for i, pi := range p {
+		a[i] = 2 * pi * (1 - pi)
+	}
+	return a, nil
+}
+
+// AnalyzeWithActivities produces the power report using propagated
+// per-net activities instead of the flat Config.ActivityFactor; the
+// clock frequency still comes from cfg.
+func AnalyzeWithActivities(d *core.Design, cfg Config, acfg ActivityConfig) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	act, err := Activities(d, acfg)
+	if err != nil {
+		return Report{}, err
+	}
+	vdd2 := d.Lib.P.Vdd * d.Lib.P.Vdd
+	dyn := 0.0
+	for _, g := range d.Circuit.Gates() {
+		cl := d.Load(g.ID)
+		if g.Type != logic.Input {
+			cl += d.Lib.ParasiticCap(g.Type, d.Size[g.ID])
+		}
+		dyn += act[g.ID] * cl * vdd2 * cfg.ClockGHz
+	}
+	leak := d.TotalLeak() * 1e-3
+	total := dyn + leak
+	r := Report{
+		DynamicUW: dyn,
+		LeakageUW: leak,
+		TotalUW:   total,
+		GateCount: d.Circuit.NumGates(),
+		AvgSize:   d.AvgSize(),
+	}
+	if total > 0 {
+		r.LeakFrac = leak / total
+	}
+	if r.GateCount > 0 {
+		r.HVTFraction = float64(d.CountHVT()) / float64(r.GateCount)
+	}
+	return r, nil
+}

@@ -1,0 +1,220 @@
+package power_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/logic"
+	"repro/internal/power"
+)
+
+func mkDesign(t testing.TB, c *logic.Circuit) *core.Design {
+	t.Helper()
+	env, err := fixture.DefaultEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlaceGrid(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDesign(c, env.Lib, env.Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSignalProbsKnownGates(t *testing.T) {
+	c := logic.New("probs")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	and2, _ := c.AddGate("and2", logic.And2, a, b)
+	nor2, _ := c.AddGate("nor2", logic.Nor2, a, b)
+	xor2, _ := c.AddGate("xor2", logic.Xor2, a, b)
+	inv, _ := c.AddGate("inv", logic.Inv, and2)
+	sink, _ := c.AddGate("sink", logic.And4, and2, nor2, xor2, inv)
+	_ = c.MarkOutput(sink)
+	d := mkDesign(t, c)
+
+	p, err := power.SignalProbs(d, power.DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(id int, want float64) {
+		t.Helper()
+		if math.Abs(p[id]-want) > 1e-12 {
+			t.Errorf("P(%s) = %g, want %g", d.Circuit.Gate(id).Name, p[id], want)
+		}
+	}
+	check(and2, 0.25)
+	check(nor2, 0.25)
+	check(xor2, 0.5)
+	check(inv, 0.75)
+}
+
+func TestSignalProbsCustomInputProb(t *testing.T) {
+	c := logic.New("p9")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	g, _ := c.AddGate("g", logic.And2, a, b)
+	_ = c.MarkOutput(g)
+	d := mkDesign(t, c)
+	cfg := power.DefaultActivityConfig()
+	cfg.InputProb = 0.9
+	p, err := power.SignalProbs(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[g]-0.81) > 1e-12 {
+		t.Errorf("P(and) = %g, want 0.81", p[g])
+	}
+	cfg.InputProb = 1.5
+	if _, err := power.SignalProbs(d, cfg); err == nil {
+		t.Error("bad InputProb accepted")
+	}
+}
+
+func TestSignalProbsBoundsOnSuite(t *testing.T) {
+	d, err := fixture.Suite("s880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := power.SignalProbs(d, power.DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("P(node %d) = %g", i, v)
+		}
+	}
+}
+
+func TestSignalProbsAgainstSimulation(t *testing.T) {
+	// Golden check on a combinational circuit: empirical 1-probability
+	// from random-vector simulation. Independence assumptions bias
+	// reconvergent nets, so tolerances are loose but must catch sign
+	// or formula errors.
+	cfg, err := bench.SuiteConfig("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := bench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mkDesign(t, c)
+	p, err := power.SignalProbs(d, power.DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	const vectors = 4000
+	counts := make([]float64, c.NumNodes())
+	in := make([]bool, c.NumInputs())
+	for v := 0; v < vectors; v++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		vals, err := c.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range vals {
+			if b {
+				counts[i]++
+			}
+		}
+	}
+	var sumErr float64
+	worst := 0.0
+	nGates := 0
+	for _, g := range c.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		emp := counts[g.ID] / vectors
+		e := math.Abs(p[g.ID] - emp)
+		sumErr += e
+		if e > worst {
+			worst = e
+		}
+		nGates++
+	}
+	if avg := sumErr / float64(nGates); avg > 0.05 {
+		t.Errorf("avg |analytic − empirical| = %g; formulas look wrong", avg)
+	}
+	if worst > 0.4 {
+		t.Errorf("worst-case probability error %g; beyond reconvergence bias", worst)
+	}
+}
+
+func TestSequentialFixpointToggle(t *testing.T) {
+	// F = DFF(XOR(F, en)) with P(en)=1: the state alternates, so the
+	// fixpoint state probability is 0.5 and the XOR output too.
+	c := logic.New("toggle")
+	en, _ := c.AddInput("en")
+	f, _ := c.AddDff("F")
+	x, _ := c.AddGate("x", logic.Xor2, f, en)
+	if err := c.ConnectDff(f, x); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.MarkOutput(x)
+	d := mkDesign(t, c)
+	cfg := power.DefaultActivityConfig()
+	cfg.InputProb = 1.0
+	p, err := power.SignalProbs(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[f]-0.5) > 1e-6 {
+		t.Errorf("P(F) = %g, want 0.5", p[f])
+	}
+}
+
+func TestActivitiesShape(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := power.Activities(d, power.DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a {
+		if v < 0 || v > 0.5+1e-12 {
+			t.Fatalf("activity(node %d) = %g outside [0, 0.5]", i, v)
+		}
+	}
+}
+
+func TestAnalyzeWithActivities(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := power.Analyze(d, power.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := power.AnalyzeWithActivities(d, power.DefaultConfig(), power.DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.DynamicUW <= 0 {
+		t.Fatal("propagated dynamic power not positive")
+	}
+	// Propagated activities (up to 0.5 per net) dominate the flat 10%
+	// default on random-input workloads.
+	if prop.DynamicUW <= flat.DynamicUW {
+		t.Errorf("propagated dynamic %g not above flat-α %g at uniform inputs",
+			prop.DynamicUW, flat.DynamicUW)
+	}
+	if prop.LeakageUW != flat.LeakageUW {
+		t.Error("leakage must not depend on the activity model")
+	}
+}

@@ -1,0 +1,92 @@
+// Package power models dynamic (switching) power and combines it with
+// leakage into total-power reports. Dynamic power is the classic
+// α·C·V²·f per net; it is only weakly affected by process variation
+// and serves as the secondary metric of the experiments (sizing moves
+// trade it off implicitly through input capacitance).
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// Config sets the switching environment.
+type Config struct {
+	ActivityFactor float64 // average switching activity per cycle per net
+	ClockGHz       float64 // clock frequency [GHz]
+}
+
+// DefaultConfig returns the activity assumptions used by the
+// experiments: 10% switching activity at 1 GHz.
+func DefaultConfig() Config { return Config{ActivityFactor: 0.1, ClockGHz: 1.0} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ActivityFactor < 0 || c.ActivityFactor > 1 {
+		return fmt.Errorf("power: ActivityFactor %g outside [0,1]", c.ActivityFactor)
+	}
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("power: ClockGHz %g must be > 0", c.ClockGHz)
+	}
+	return nil
+}
+
+// GateDynamicUW returns the dynamic power [µW] dissipated switching
+// the output net of node id: α·(C_load + C_parasitic)·Vdd²·f.
+// fF·V²·GHz = µW, so no unit conversion is needed.
+func GateDynamicUW(d *core.Design, cfg Config, id int) float64 {
+	g := d.Circuit.Gate(id)
+	if g.Type == logic.Input {
+		// PI nets still switch; their driver is external, but the load
+		// they present is real. Count the net capacitance.
+		return cfg.ActivityFactor * d.Load(id) * d.Lib.P.Vdd * d.Lib.P.Vdd * cfg.ClockGHz
+	}
+	cl := d.Load(id) + d.Lib.ParasiticCap(g.Type, d.Size[id])
+	return cfg.ActivityFactor * cl * d.Lib.P.Vdd * d.Lib.P.Vdd * cfg.ClockGHz
+}
+
+// TotalDynamicUW returns the total dynamic power [µW].
+func TotalDynamicUW(d *core.Design, cfg Config) float64 {
+	sum := 0.0
+	for _, g := range d.Circuit.Gates() {
+		sum += GateDynamicUW(d, cfg, g.ID)
+	}
+	return sum
+}
+
+// Report combines the power components of a design.
+type Report struct {
+	DynamicUW   float64
+	LeakageUW   float64 // nominal leakage, converted from nW
+	TotalUW     float64
+	LeakFrac    float64 // leakage share of total
+	GateCount   int
+	AvgSize     float64
+	HVTFraction float64
+}
+
+// Analyze produces a combined power report using nominal leakage.
+func Analyze(d *core.Design, cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	dyn := TotalDynamicUW(d, cfg)
+	leak := d.TotalLeak() * 1e-3 // nW → µW
+	total := dyn + leak
+	r := Report{
+		DynamicUW: dyn,
+		LeakageUW: leak,
+		TotalUW:   total,
+		GateCount: d.Circuit.NumGates(),
+		AvgSize:   d.AvgSize(),
+	}
+	if total > 0 {
+		r.LeakFrac = leak / total
+	}
+	if r.GateCount > 0 {
+		r.HVTFraction = float64(d.CountHVT()) / float64(r.GateCount)
+	}
+	return r, nil
+}

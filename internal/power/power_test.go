@@ -1,0 +1,110 @@
+package power_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/logic"
+	"repro/internal/power"
+	"repro/internal/tech"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := power.DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []power.Config{
+		{ActivityFactor: -0.1, ClockGHz: 1},
+		{ActivityFactor: 1.5, ClockGHz: 1},
+		{ActivityFactor: 0.1, ClockGHz: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDynamicPowerScalesLinearly(t *testing.T) {
+	d, err := fixture.C17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := power.DefaultConfig()
+	p1 := power.TotalDynamicUW(d, cfg)
+	if p1 <= 0 {
+		t.Fatal("dynamic power must be positive")
+	}
+	cfg2 := cfg
+	cfg2.ClockGHz *= 2
+	if got := power.TotalDynamicUW(d, cfg2); math.Abs(got-2*p1) > 1e-9*p1 {
+		t.Errorf("doubling f: %g, want %g", got, 2*p1)
+	}
+	cfg3 := cfg
+	cfg3.ActivityFactor *= 0.5
+	if got := power.TotalDynamicUW(d, cfg3); math.Abs(got-0.5*p1) > 1e-9*p1 {
+		t.Errorf("halving activity: %g, want %g", got, 0.5*p1)
+	}
+}
+
+func TestUpsizingIncreasesDynamicPower(t *testing.T) {
+	d, err := fixture.C17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := power.DefaultConfig()
+	before := power.TotalDynamicUW(d, cfg)
+	for _, g := range d.Circuit.Gates() {
+		if g.Type != logic.Input {
+			if err := d.SetSize(g.ID, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if after := power.TotalDynamicUW(d, cfg); after <= before {
+		t.Errorf("upsizing did not increase dynamic power: %g <= %g", after, before)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make half the gates HVT to exercise HVTFraction.
+	i := 0
+	for _, g := range d.Circuit.Gates() {
+		if g.Type == logic.Input {
+			continue
+		}
+		if i%2 == 0 {
+			if err := d.SetVth(g.ID, tech.HighVth); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i++
+	}
+	r, err := power.Analyze(d, power.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalUW <= 0 || r.DynamicUW <= 0 || r.LeakageUW <= 0 {
+		t.Errorf("non-positive components: %+v", r)
+	}
+	if math.Abs(r.TotalUW-(r.DynamicUW+r.LeakageUW)) > 1e-9 {
+		t.Error("total != dynamic + leakage")
+	}
+	if r.LeakFrac <= 0 || r.LeakFrac >= 1 {
+		t.Errorf("LeakFrac = %g", r.LeakFrac)
+	}
+	if r.HVTFraction < 0.4 || r.HVTFraction > 0.6 {
+		t.Errorf("HVTFraction = %g, want ~0.5", r.HVTFraction)
+	}
+	if r.GateCount != d.Circuit.NumGates() {
+		t.Errorf("GateCount = %d", r.GateCount)
+	}
+	if _, err := power.Analyze(d, power.Config{ActivityFactor: 2, ClockGHz: 1}); err == nil {
+		t.Error("Analyze accepted invalid config")
+	}
+}

@@ -1,0 +1,158 @@
+// Package report renders the experiment tables and figure series as
+// aligned ASCII, the output format of cmd/experiments and the bench
+// harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v unless they are
+// already strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// FormatFloat renders a float compactly: large values without
+// decimals, small ones with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	sep := make([]string, len(t.Columns))
+	head := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		head[i] = pad(c, widths[i])
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(head, " | "))
+	fmt.Fprintf(&b, "|-%s-|\n", strings.Join(sep, "-|-"))
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			cells[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(cells, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named (x, y...) figure series rendered as a table plus a
+// crude ASCII plot of the first y column.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel []string
+	X      []float64
+	Y      [][]float64 // Y[k][i] is series k at X[i]
+}
+
+// NewSeries creates a figure series container.
+func NewSeries(title, xlabel string, ylabels ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabel: ylabels, Y: make([][]float64, len(ylabels))}
+}
+
+// Add appends a sample point; ys must match the number of y labels.
+func (s *Series) Add(x float64, ys ...float64) error {
+	if len(ys) != len(s.YLabel) {
+		return fmt.Errorf("report: Series.Add got %d values for %d series", len(ys), len(s.YLabel))
+	}
+	s.X = append(s.X, x)
+	for k, y := range ys {
+		s.Y[k] = append(s.Y[k], y)
+	}
+	return nil
+}
+
+// Render writes the series as an aligned table of points.
+func (s *Series) Render(w io.Writer) error {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.YLabel...)...)
+	for i, x := range s.X {
+		cells := make([]interface{}, 0, 1+len(s.Y))
+		cells = append(cells, x)
+		for k := range s.Y {
+			cells = append(cells, s.Y[k][i])
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}

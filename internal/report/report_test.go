@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "a", "bb", "ccc")
+	tb.AddRow("x", 1, 2.5)
+	tb.AddRow("longer", 12345.678, "str")
+	tb.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Title", "| a", "bb", "ccc", "longer", "12346", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// all table lines (starting with |) must have equal width
+	w := -1
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "|") {
+			continue
+		}
+		if w == -1 {
+			w = len(l)
+		} else if len(l) != w {
+			t.Errorf("ragged table line: %q", l)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("only")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345.6, "12346"},
+		{42.25, "42.2"},
+		{1.5, "1.500"},
+		{0.001, "1.00e-03"},
+		{-2000, "-2000"},
+	}
+	for _, tc := range cases {
+		if got := FormatFloat(tc.in); got != tc.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("fig", "x", "y1", "y2")
+	if err := s.Add(1, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(2, 11, 21); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(3, 12); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig", "y1", "y2", "21.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package ssta implements block-based statistical static timing
+// analysis in the canonical first-order delay model: every timing
+// quantity is
+//
+//	X = Mean + Σₖ Sens[k]·Zₖ + Rand·R
+//
+// where Z is the shared global variation vector (die-to-die plus the
+// spatial principal components from package variation) and R is a
+// private standard normal. Sums add sensitivities exactly; the max of
+// two canonical forms is re-Gaussianized with Clark's moments, with
+// sensitivities blended by the tightness probability — the standard
+// SSTA construction the paper's statistical optimizer runs on.
+package ssta
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Canonical is a first-order Gaussian form over the global variation
+// vector plus an independent residual.
+type Canonical struct {
+	Mean float64
+	Sens []float64 // loadings on the globals Z
+	Rand float64   // σ of the private residual (non-negative)
+}
+
+// NewCanonical returns a deterministic canonical form with the given
+// number of global components.
+func NewCanonical(mean float64, numPC int) Canonical {
+	return Canonical{Mean: mean, Sens: make([]float64, numPC)}
+}
+
+// Variance returns the total variance.
+func (c Canonical) Variance() float64 {
+	v := c.Rand * c.Rand
+	for _, s := range c.Sens {
+		v += s * s
+	}
+	return v
+}
+
+// Sigma returns the standard deviation.
+func (c Canonical) Sigma() float64 { return math.Sqrt(c.Variance()) }
+
+// Normal returns the marginal distribution of the form.
+func (c Canonical) Normal() stats.Normal { return stats.Normal{Mu: c.Mean, Sigma: c.Sigma()} }
+
+// Clone deep-copies the form.
+func (c Canonical) Clone() Canonical {
+	return Canonical{Mean: c.Mean, Sens: append([]float64(nil), c.Sens...), Rand: c.Rand}
+}
+
+// Covariance returns Cov(a,b) under the model: global sensitivities
+// are shared; private residuals of distinct forms are independent.
+func Covariance(a, b Canonical) float64 {
+	cov := 0.0
+	for k := range a.Sens {
+		cov += a.Sens[k] * b.Sens[k]
+	}
+	return cov
+}
+
+// Correlation returns the correlation coefficient of two forms (0 if
+// either is deterministic).
+func Correlation(a, b Canonical) float64 {
+	va, vb := a.Variance(), b.Variance()
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	rho := Covariance(a, b) / math.Sqrt(va*vb)
+	if rho > 1 {
+		rho = 1
+	}
+	if rho < -1 {
+		rho = -1
+	}
+	return rho
+}
+
+// Add returns a+b, treating the private residuals as independent.
+func Add(a, b Canonical) Canonical {
+	out := Canonical{
+		Mean: a.Mean + b.Mean,
+		Sens: make([]float64, len(a.Sens)),
+		Rand: math.Hypot(a.Rand, b.Rand),
+	}
+	for k := range a.Sens {
+		out.Sens[k] = a.Sens[k] + b.Sens[k]
+	}
+	return out
+}
+
+// AddInPlace adds b into a (a must have the same PC dimension).
+func AddInPlace(a *Canonical, b Canonical) {
+	a.Mean += b.Mean
+	for k := range a.Sens {
+		a.Sens[k] += b.Sens[k]
+	}
+	a.Rand = math.Hypot(a.Rand, b.Rand)
+}
+
+// Max returns the canonical approximation of max(a,b): Clark's mean
+// and variance, sensitivities blended by the tightness probability
+// T = P(a ≥ b), and the private residual set to absorb whatever
+// variance the blended sensitivities do not explain.
+func Max(a, b Canonical) Canonical {
+	sa, sb := a.Sigma(), b.Sigma()
+	rho := Correlation(a, b)
+	m := stats.ClarkMax(a.Mean, sa, b.Mean, sb, rho)
+	out := Canonical{Mean: m.Mean, Sens: make([]float64, len(a.Sens))}
+	t := m.Tightness
+	explained := 0.0
+	for k := range a.Sens {
+		s := t*a.Sens[k] + (1-t)*b.Sens[k]
+		out.Sens[k] = s
+		explained += s * s
+	}
+	resid := m.Variance - explained
+	if resid > 0 {
+		out.Rand = math.Sqrt(resid)
+	} else {
+		// Blended sensitivities over-explain the Clark variance (can
+		// happen when the inputs are nearly perfectly correlated);
+		// rescale them to match it exactly.
+		out.Rand = 0
+		if explained > 0 {
+			scale := math.Sqrt(m.Variance / explained)
+			for k := range out.Sens {
+				out.Sens[k] *= scale
+			}
+		}
+	}
+	return out
+}
+
+// MaxAll folds Max over a non-empty set of forms.
+func MaxAll(forms []Canonical) Canonical {
+	if len(forms) == 0 {
+		panic("ssta: MaxAll of empty set")
+	}
+	acc := forms[0].Clone()
+	for _, f := range forms[1:] {
+		acc = Max(acc, f)
+	}
+	return acc
+}

@@ -1,0 +1,103 @@
+package ssta
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/stats"
+)
+
+// Criticality returns, per node, the probability that the node lies on
+// the critical path of a fabricated die — the standard SSTA diagnostic
+// that replaces the deterministic notion of "the" critical path.
+//
+// It is computed from the canonical forms: a reverse-topological pass
+// builds each node's downstream-remaining-delay form S_i (the
+// statistical max over its fanout continuations, with flip-flop
+// capture edges contributing their setup-shifted constant), the
+// node's worst path-through form is T_i = A_i + S_i, and the
+// criticality is P(T_i ≥ D) under the joint Gaussian of (T_i, D) with
+// covariance taken through the shared global sensitivities. Private
+// residuals of T_i and D are treated as independent, so the result is
+// an approximation in exactly the same sense as Clark's max — tests
+// bound it against Monte Carlo path tracing.
+func (r *Result) Criticality(d *core.Design) ([]float64, error) {
+	order, err := d.Circuit.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := d.Circuit.NumNodes()
+	setup := d.Lib.P.DffSetupPs
+
+	// Downstream remaining delay S_i, built on the reverse graph. For
+	// an endpoint contribution: a PO adds 0; a DFF capture adds the
+	// setup constant.
+	remaining := make([]Canonical, n)
+	has := make([]bool, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := d.Circuit.Gate(id)
+		var acc Canonical
+		accSet := false
+		if d.IsOutput(id) {
+			acc = NewCanonical(0, r.NumPC)
+			accSet = true
+		}
+		for _, s := range g.Fanout {
+			sg := d.Circuit.Gate(s)
+			var cont Canonical
+			if sg.Type == logic.Dff {
+				cont = NewCanonical(setup, r.NumPC)
+			} else if has[s] {
+				cont = Add(remaining[s], GateDelayCanonical(d, s))
+			} else {
+				continue
+			}
+			if !accSet {
+				acc = cont
+				accSet = true
+			} else {
+				acc = Max(acc, cont)
+			}
+		}
+		if accSet {
+			remaining[id] = acc
+			has[id] = true
+		}
+	}
+
+	crit := make([]float64, n)
+	dMean := r.Delay.Mean
+	dVar := r.Delay.Variance()
+	prob := func(t Canonical) float64 {
+		// P(T − D ≥ 0) with Cov(T,D) through the globals.
+		mu := t.Mean - dMean
+		cov := Covariance(t, r.Delay)
+		v := t.Variance() + dVar - 2*cov
+		if v <= 1e-18 {
+			if mu >= -1e-9 {
+				return 1
+			}
+			return 0
+		}
+		return stats.NormalCDF(mu / math.Sqrt(v))
+	}
+	for _, g := range d.Circuit.Gates() {
+		id := g.ID
+		if has[id] {
+			crit[id] = prob(Add(r.Arrivals[id], remaining[id]))
+		}
+		if g.Type == logic.Dff {
+			// A flip-flop is on the critical path in two roles: as a
+			// launch point (handled above through its Q-side paths)
+			// and as the capture endpoint of its D-pin path.
+			capture := r.Arrivals[g.Fanin[0]].Clone()
+			capture.Mean += setup
+			if c := prob(capture); c > crit[id] {
+				crit[id] = c
+			}
+		}
+	}
+	return crit, nil
+}

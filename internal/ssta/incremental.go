@@ -1,0 +1,170 @@
+package ssta
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// Incremental maintains a statistical timing view of a design and
+// updates it after gate changes by recomputing only the affected
+// fanout cones — the engine style production timers (and optimizer
+// inner loops) use instead of re-running block-based SSTA from
+// scratch. Equivalence with the full analysis is exact (same
+// canonical operations in the same topological order); only
+// propagation is pruned, and only where an arrival form is bitwise
+// unchanged within tolerance.
+type Incremental struct {
+	d     *core.Design
+	order []int
+	pos   []int // topo position per node
+	res   *Result
+}
+
+// NewIncremental runs one full analysis and wraps it for updates.
+func NewIncremental(d *core.Design) (*Incremental, error) {
+	res, err := Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	order, err := d.Circuit.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, d.Circuit.NumNodes())
+	for i, id := range order {
+		pos[id] = i
+	}
+	return &Incremental{d: d, order: order, pos: pos, res: res}, nil
+}
+
+// Result returns the current timing view. The caller must treat it as
+// read-only; it is refreshed in place by Update.
+func (inc *Incremental) Result() *Result { return inc.res }
+
+// posHeap is a min-heap of node IDs keyed by topological position.
+type posHeap struct {
+	ids []int
+	pos []int
+	in  map[int]bool
+}
+
+func (h *posHeap) Len() int           { return len(h.ids) }
+func (h *posHeap) Less(i, j int) bool { return h.pos[h.ids[i]] < h.pos[h.ids[j]] }
+func (h *posHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *posHeap) Push(x interface{}) { h.ids = append(h.ids, x.(int)) }
+func (h *posHeap) Pop() interface{} {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
+
+func (h *posHeap) add(id int) {
+	if !h.in[id] {
+		h.in[id] = true
+		heap.Push(h, id)
+	}
+}
+
+// Update re-times the design after the given gates changed (Vth or
+// size). A size change alters the gate's own delay and its drivers'
+// loads, so drivers are re-seeded too; passing the changed gate alone
+// is always sufficient. Returns the number of nodes re-evaluated.
+func (inc *Incremental) Update(changed ...int) int {
+	d := inc.d
+	c := d.Circuit
+	h := &posHeap{pos: inc.pos, in: make(map[int]bool)}
+	for _, id := range changed {
+		h.add(id)
+		// Drivers see a different load if this gate's size changed;
+		// re-seeding them unconditionally is cheap and always safe.
+		for _, f := range c.Gate(id).Fanin {
+			if c.Gate(f).Type != logic.Input {
+				h.add(f)
+			}
+		}
+	}
+	visited := 0
+	for h.Len() > 0 {
+		id := heap.Pop(h).(int)
+		delete(h.in, id)
+		g := c.Gate(id)
+		if g.Type == logic.Input {
+			continue
+		}
+		visited++
+		var next Canonical
+		if g.Type == logic.Dff {
+			next = GateDelayCanonical(d, id)
+		} else {
+			in := inc.res.Arrivals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				in = Max(in, inc.res.Arrivals[f])
+			}
+			next = Add(in, GateDelayCanonical(d, id))
+		}
+		if canonicalEqual(next, inc.res.Arrivals[id]) {
+			continue // cone converged: nothing downstream can change
+		}
+		inc.res.Arrivals[id] = next
+		for _, s := range g.Fanout {
+			if c.Gate(s).Type != logic.Dff {
+				h.add(s)
+			}
+			// DFF sinks have no combinational dependence on their data
+			// pin; the endpoint fold below picks up the change.
+		}
+	}
+	inc.refold()
+	return visited
+}
+
+// refold recomputes the circuit-delay form from the endpoint
+// arrivals.
+func (inc *Incremental) refold() {
+	d := inc.d
+	setup := d.Lib.P.DffSetupPs
+	var acc Canonical
+	set := false
+	for _, o := range d.Circuit.Outputs() {
+		if !set {
+			acc = inc.res.Arrivals[o].Clone()
+			set = true
+		} else {
+			acc = Max(acc, inc.res.Arrivals[o])
+		}
+	}
+	for _, f := range d.Circuit.Dffs() {
+		capture := inc.res.Arrivals[d.Circuit.Gate(f).Fanin[0]].Clone()
+		capture.Mean += setup
+		if !set {
+			acc = capture
+			set = true
+		} else {
+			acc = Max(acc, capture)
+		}
+	}
+	inc.res.Delay = acc
+}
+
+// canonicalEqual compares two forms within floating tolerance.
+func canonicalEqual(a, b Canonical) bool {
+	const tol = 1e-12
+	if !close(a.Mean, b.Mean, tol) || !close(a.Rand, b.Rand, tol) {
+		return false
+	}
+	for k := range a.Sens {
+		if !close(a.Sens[k], b.Sens[k], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}

@@ -1,0 +1,146 @@
+package ssta_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/logic"
+	"repro/internal/ssta"
+	"repro/internal/tech"
+)
+
+func formsClose(t testing.TB, a, b ssta.Canonical, label string) {
+	t.Helper()
+	tol := 1e-9 * (1 + math.Abs(a.Mean))
+	if math.Abs(a.Mean-b.Mean) > tol || math.Abs(a.Sigma()-b.Sigma()) > tol {
+		t.Fatalf("%s: (%g,%g) vs (%g,%g)", label, a.Mean, a.Sigma(), b.Mean, b.Sigma())
+	}
+}
+
+// applyRandomMove mutates one random gate and returns its ID.
+func applyRandomMove(t testing.TB, d *core.Design, rng *rand.Rand) int {
+	t.Helper()
+	for {
+		id := rng.Intn(d.Circuit.NumNodes())
+		g := d.Circuit.Gate(id)
+		if g.Type == logic.Input {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			next := tech.HighVth
+			if d.Vth[id] == tech.HighVth {
+				next = tech.LowVth
+			}
+			if err := d.SetVth(id, next); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			si := d.Lib.SizeIndex(d.Size[id])
+			ni := si + 1
+			if ni >= len(d.Lib.Sizes) || (si > 0 && rng.Intn(2) == 0) {
+				ni = si - 1
+			}
+			if err := d.SetSize(id, d.Lib.Sizes[ni]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return id
+	}
+}
+
+func TestIncrementalMatchesFullAnalysis(t *testing.T) {
+	for _, name := range []string{"s432", "q344"} {
+		d, err := fixture.Suite(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := ssta.NewIncremental(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		for move := 0; move < 60; move++ {
+			id := applyRandomMove(t, d, rng)
+			inc.Update(id)
+			full, err := ssta.Analyze(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			formsClose(t, inc.Result().Delay, full.Delay, name+" circuit delay")
+			for _, g := range d.Circuit.Gates() {
+				formsClose(t, inc.Result().Arrivals[g.ID], full.Arrivals[g.ID], name+" arrival")
+			}
+		}
+	}
+}
+
+func TestIncrementalBatchUpdate(t *testing.T) {
+	d, err := fixture.Suite("s880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ssta.NewIncremental(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	var ids []int
+	for i := 0; i < 15; i++ {
+		ids = append(ids, applyRandomMove(t, d, rng))
+	}
+	inc.Update(ids...)
+	full, err := ssta.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formsClose(t, inc.Result().Delay, full.Delay, "batched circuit delay")
+}
+
+func TestIncrementalVisitsFewNodes(t *testing.T) {
+	// The point of the engine: a single change near the outputs must
+	// not re-time the whole circuit.
+	d, err := fixture.Suite("s1908")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ssta.NewIncremental(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change a primary-output driver (tiny fanout cone).
+	out := d.Circuit.Outputs()[0]
+	if err := d.SetVth(out, tech.HighVth); err != nil {
+		t.Fatal(err)
+	}
+	visited := inc.Update(out)
+	if visited >= d.Circuit.NumGates()/4 {
+		t.Errorf("PO-driver change visited %d/%d nodes; pruning broken",
+			visited, d.Circuit.NumGates())
+	}
+	// And the result is still right.
+	full, err := ssta.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formsClose(t, inc.Result().Delay, full.Delay, "post-prune delay")
+}
+
+func TestIncrementalNoOpUpdate(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ssta.NewIncremental(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Result().Delay
+	// "Update" without an actual change: one visit (the seed), no
+	// propagation beyond the unchanged form.
+	id := d.Circuit.Outputs()[0]
+	inc.Update(id)
+	formsClose(t, inc.Result().Delay, before, "no-op update")
+}

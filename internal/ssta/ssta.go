@@ -1,0 +1,184 @@
+package ssta
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/stats"
+)
+
+// Result is a full statistical timing analysis of a design.
+type Result struct {
+	// Arrivals[i] is the canonical arrival-time form at the output of
+	// node i.
+	Arrivals []Canonical
+	// Delay is the canonical circuit delay: the statistical max over
+	// the primary-output arrivals.
+	Delay Canonical
+	// NumPC is the dimension of the global variation vector.
+	NumPC int
+}
+
+// GateDelayCanonical builds the canonical delay form of one gate: the
+// nominal delay as mean, the ΔLeff sensitivity projected onto the
+// gate's spatial loading vector as global sensitivities, and the
+// independent ΔLeff and ΔVth contributions folded into the private
+// residual.
+func GateDelayCanonical(d *core.Design, id int) Canonical {
+	vm := d.Var
+	g := d.Circuit.Gate(id)
+	c := NewCanonical(0, vm.NumPC)
+	if g.Type == logic.Input {
+		return c
+	}
+	c.Mean = d.GateDelay(id)
+	dPerNm, dPerV := d.GateDelayDerivs(id)
+	loads := vm.Loads(g.X, g.Y)
+	for k, a := range loads {
+		c.Sens[k] = dPerNm * a
+	}
+	indL := dPerNm * vm.SigmaIndNm()
+	indV := dPerV * vm.SigmaVthInd()
+	c.Rand = math.Sqrt(indL*indL + indV*indV)
+	return c
+}
+
+// Analyze runs block-based SSTA over the design and returns the
+// canonical arrival forms and the circuit-delay form.
+func Analyze(d *core.Design) (*Result, error) {
+	order, err := d.Circuit.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := d.Circuit.NumNodes()
+	numPC := d.Var.NumPC
+	r := &Result{Arrivals: make([]Canonical, n), NumPC: numPC}
+	for _, id := range order {
+		g := d.Circuit.Gate(id)
+		switch g.Type {
+		case logic.Input:
+			r.Arrivals[id] = NewCanonical(0, numPC)
+			continue
+		case logic.Dff:
+			// Launch point: the clock edge plus the (variational)
+			// clock-to-Q delay; the data-pin arrival constrains the
+			// endpoint fold below, not this node.
+			r.Arrivals[id] = GateDelayCanonical(d, id)
+			continue
+		}
+		var in Canonical
+		switch len(g.Fanin) {
+		case 1:
+			in = r.Arrivals[g.Fanin[0]]
+		default:
+			in = r.Arrivals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				in = Max(in, r.Arrivals[f])
+			}
+		}
+		r.Arrivals[id] = Add(in, GateDelayCanonical(d, id))
+	}
+	// Circuit delay: statistical max over all timing endpoints —
+	// primary outputs, and flip-flop data pins shifted by the setup
+	// time (the minimum clock period for sequential circuits).
+	setup := d.Lib.P.DffSetupPs
+	var endpoints []Canonical
+	for _, o := range d.Circuit.Outputs() {
+		endpoints = append(endpoints, r.Arrivals[o])
+	}
+	for _, f := range d.Circuit.Dffs() {
+		capture := r.Arrivals[d.Circuit.Gate(f).Fanin[0]].Clone()
+		capture.Mean += setup
+		endpoints = append(endpoints, capture)
+	}
+	r.Delay = MaxAll(endpoints)
+	return r, nil
+}
+
+// Yield returns the timing yield P(delay ≤ tmax) under the Gaussian
+// circuit-delay approximation.
+func (r *Result) Yield(tmax float64) float64 {
+	return r.Delay.Normal().CDF(tmax)
+}
+
+// Quantile returns the delay value not exceeded with probability p.
+func (r *Result) Quantile(p float64) float64 {
+	return r.Delay.Normal().Quantile(p)
+}
+
+// YieldConstraintDelay returns the Tmax that would achieve the target
+// yield: the eta-quantile of the delay distribution.
+func (r *Result) YieldConstraintDelay(eta float64) float64 {
+	return r.Quantile(eta)
+}
+
+// StatisticalSlack returns, per node, an approximate statistical slack
+// against constraint tmax at yield target eta: how much the node's
+// mean delay could grow before the eta-quantile of the circuit delay
+// would (approximately) violate tmax.
+//
+// It treats the circuit's delay variance as a global margin: the mean
+// timing graph is given the effective budget
+//
+//	T_eff = tmax − κ·σ(D),  κ = Φ⁻¹(eta)
+//
+// and an ordinary mean-delay required-time pass computes slacks
+// against it. Accumulating κσ per gate along paths instead would
+// overcount the variance by ~√depth (sigmas add in RSS, not
+// linearly), starving the optimizer of slack; treating σ(D) as a
+// slowly varying global is the standard fix. This is a ranking
+// signal — the hard feasibility check remains Yield(tmax) ≥ eta with
+// rollback.
+func (r *Result) StatisticalSlack(d *core.Design, tmax, eta float64) ([]float64, error) {
+	order, err := d.Circuit.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	kappa := stats.NormalQuantile(eta)
+	tEff := tmax - kappa*r.Delay.Sigma()
+	n := d.Circuit.NumNodes()
+	req := make([]float64, n)
+	for i := range req {
+		req[i] = inf
+	}
+	for _, o := range d.Circuit.Outputs() {
+		if tEff < req[o] {
+			req[o] = tEff
+		}
+	}
+	// Backward pass with mean gate delays (the canonical means include
+	// the Clark max bias of the forward arrivals, which keeps forward
+	// and backward views consistent).
+	gd := make([]float64, n)
+	for _, id := range order {
+		if d.Circuit.Gate(id).Type != logic.Input {
+			gd[id] = d.GateDelay(id)
+		}
+	}
+	setup := d.Lib.P.DffSetupPs
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := d.Circuit.Gate(id)
+		rq := req[id]
+		for _, s := range g.Fanout {
+			var v float64
+			if d.Circuit.Gate(s).Type == logic.Dff {
+				v = tEff - setup // capture at the D pin
+			} else {
+				v = req[s] - gd[s]
+			}
+			if v < rq {
+				rq = v
+			}
+		}
+		req[id] = rq
+	}
+	slack := make([]float64, n)
+	for i := range slack {
+		slack[i] = req[i] - r.Arrivals[i].Mean
+	}
+	return slack, nil
+}
+
+var inf = 1e300

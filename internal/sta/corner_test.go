@@ -1,0 +1,97 @@
+package sta_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/montecarlo"
+	"repro/internal/sta"
+	"repro/internal/variation"
+)
+
+func TestCornerOffsetsStructure(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dL, dV := sta.CornerOffsets(d, 3)
+	if dV != 0 {
+		t.Errorf("corner ΔVth = %g; corner files carry systematic L only", dV)
+	}
+	cfg := d.Var.Cfg
+	want := 3 * math.Sqrt(cfg.FracD2D+cfg.FracCorr) * cfg.SigmaLNm
+	if math.Abs(dL-want) > 1e-12 {
+		t.Errorf("corner ΔL = %g, want %g", dL, want)
+	}
+	if dL0, _ := sta.CornerOffsets(d, 0); dL0 != 0 {
+		t.Error("zero-sigma corner must be the nominal point")
+	}
+}
+
+func TestAnalyzeCornerPessimisticAndMonotone(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, err := sta.Analyze(d, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := nom.MaxDelay
+	for _, k := range []float64{1, 2, 3} {
+		r, err := sta.AnalyzeCorner(d, 1e6, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MaxDelay <= prev {
+			t.Errorf("corner %gσ delay %g not above %g", k, r.MaxDelay, prev)
+		}
+		prev = r.MaxDelay
+	}
+	// The 3σ corner is a genuinely conservative bound: nearly every MC
+	// die is faster.
+	c3, err := sta.AnalyzeCorner(d, 1e6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := montecarlo.Run(d, montecarlo.Config{Samples: 1000, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := mc.TimingYield(c3.MaxDelay); y < 0.995 {
+		t.Errorf("3σ corner only covers %.3f of dies", y)
+	}
+	// But it is not absurdly above the distribution: the 1σ corner
+	// must NOT cover everything (otherwise the corner model is too
+	// pessimistic to be meaningful).
+	c1, err := sta.AnalyzeCorner(d, 1e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := mc.TimingYield(c1.MaxDelay); y > 0.995 {
+		t.Errorf("1σ corner already covers %.3f of dies; corner scale off", y)
+	}
+}
+
+func newVar(cfg variation.Config) (*variation.Model, error) { return variation.New(cfg) }
+
+func TestCornerScalesWithDecomposition(t *testing.T) {
+	// With purely independent variation the systematic corner
+	// degenerates to the nominal point.
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := d.Var.Cfg
+	cfg.FracD2D, cfg.FracCorr, cfg.FracInd = 0, 0, 1
+	vm, err := newVar(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Var = vm
+	dL, _ := sta.CornerOffsets(d, 3)
+	if dL != 0 {
+		t.Errorf("independent-only corner ΔL = %g, want 0", dL)
+	}
+}

@@ -1,0 +1,122 @@
+package sta
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// Path is one timing path from a launch point (primary input or
+// flip-flop Q) to an endpoint (primary output or flip-flop D pin,
+// including setup).
+type Path struct {
+	// Nodes from launch to endpoint. A captured path ends at the
+	// capturing flip-flop's node ID.
+	Nodes []int
+	// DelayPs is the total path delay including any setup time.
+	DelayPs float64
+}
+
+// pathState is a partial path being grown backward from an endpoint.
+type pathState struct {
+	node      int     // next node to expand (not yet in suffix)
+	suffix    []int   // nodes already fixed, endpoint-first
+	suffixPs  float64 // delay of the fixed suffix (incl. setup)
+	potential float64 // arrival[node] + suffixPs: exact best completion
+}
+
+type pathHeap []pathState
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].potential > h[j].potential }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(pathState)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopPaths enumerates the k longest timing paths of the design in
+// exact decreasing delay order — the report_timing analogue. It runs
+// best-first search backward from every endpoint; a state's potential
+// (forward arrival at the frontier node plus the fixed suffix delay)
+// is exactly the delay of its best completion, so the first k emitted
+// paths are the k worst. Complexity is O(k·depth·log) beyond one STA.
+func TopPaths(d *core.Design, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sta: TopPaths needs k > 0, got %d", k)
+	}
+	r, err := Analyze(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	c := d.Circuit
+	setup := d.Lib.P.DffSetupPs
+
+	h := &pathHeap{}
+	for _, o := range c.Outputs() {
+		heap.Push(h, pathState{
+			node:      o,
+			suffix:    nil,
+			suffixPs:  0,
+			potential: r.Arrival[o],
+		})
+	}
+	for _, f := range c.Dffs() {
+		din := c.Gate(f).Fanin[0]
+		heap.Push(h, pathState{
+			node:      din,
+			suffix:    []int{f},
+			suffixPs:  setup,
+			potential: r.Arrival[din] + setup,
+		})
+	}
+
+	var out []Path
+	for h.Len() > 0 && len(out) < k {
+		st := heap.Pop(h).(pathState)
+		g := c.Gate(st.node)
+		if g.Type == logic.Input || g.Type == logic.Dff {
+			// Launch point reached: materialize the path.
+			nodes := make([]int, 0, len(st.suffix)+1)
+			nodes = append(nodes, st.node)
+			for i := len(st.suffix) - 1; i >= 0; i-- {
+				nodes = append(nodes, st.suffix[i])
+			}
+			delay := st.suffixPs
+			if g.Type == logic.Dff {
+				delay += d.GateDelay(st.node) // clock-to-Q launch
+			}
+			out = append(out, Path{Nodes: nodes, DelayPs: delay})
+			continue
+		}
+		suffix := append(append([]int(nil), st.suffix...), st.node)
+		suffixPs := st.suffixPs + d.GateDelay(st.node)
+		for _, fi := range g.Fanin {
+			heap.Push(h, pathState{
+				node:      fi,
+				suffix:    suffix,
+				suffixPs:  suffixPs,
+				potential: r.Arrival[fi] + suffixPs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatPath renders a path as "I3 → N17 → … → N158 (1234.5 ps)".
+func FormatPath(d *core.Design, p Path) string {
+	s := ""
+	for i, id := range p.Nodes {
+		if i > 0 {
+			s += " → "
+		}
+		s += d.Circuit.Gate(id).Name
+	}
+	return fmt.Sprintf("%s (%.1f ps)", s, p.DelayPs)
+}

@@ -1,0 +1,68 @@
+package tech
+
+import "fmt"
+
+// Default130nm returns a 130nm-class parameter set: higher supply and
+// thresholds, gentler roll-off, lower leakage scale — the node the
+// paper's era was migrating from. HVT/LVT leverage and delay cost stay
+// in the classic bands.
+func Default130nm() *Params {
+	return &Params{
+		Name:               "generic-130nm",
+		Vdd:                1.5,
+		LeffNom:            80,
+		VthLow:             0.23,
+		VthHigh:            0.38,
+		Alpha:              1.3,
+		SubSwing:           0.090,
+		KRoll:              0.003,
+		Tau0Ps:             10.0,
+		CinUnitFF:          2.6,
+		I0LeakNA:           1200,
+		GateLeakNW:         0.6,
+		WireCapPerFanoutFF: 0.5,
+		POLoadFF:           10.0,
+		DffSetupPs:         55,
+	}
+}
+
+// Default70nm returns a 70nm-class parameter set: lower supply, lower
+// thresholds, steeper roll-off and much higher leakage — the node the
+// paper's era was heading into, where statistical leakage analysis
+// matters most.
+func Default70nm() *Params {
+	return &Params{
+		Name:               "generic-70nm",
+		Vdd:                1.0,
+		LeffNom:            45,
+		VthLow:             0.18,
+		VthHigh:            0.29,
+		Alpha:              1.25,
+		SubSwing:           0.100,
+		KRoll:              0.006,
+		Tau0Ps:             5.0,
+		CinUnitFF:          1.5,
+		I0LeakNA:           7000,
+		GateLeakNW:         4.0,
+		WireCapPerFanoutFF: 0.3,
+		POLoadFF:           6.0,
+		DffSetupPs:         30,
+	}
+}
+
+// PresetNames lists the built-in technology presets in scaling order.
+func PresetNames() []string { return []string{"130nm", "100nm", "70nm"} }
+
+// Preset returns a built-in parameter set by short name ("130nm",
+// "100nm", "70nm").
+func Preset(name string) (*Params, error) {
+	switch name {
+	case "130nm":
+		return Default130nm(), nil
+	case "100nm":
+		return Default100nm(), nil
+	case "70nm":
+		return Default70nm(), nil
+	}
+	return nil, fmt.Errorf("tech: unknown preset %q (have %v)", name, PresetNames())
+}

@@ -1,0 +1,398 @@
+// Package tech models the technology and the dual-Vth standard-cell
+// library: alpha-power-law gate delay, subthreshold (and gate) leakage,
+// input/parasitic capacitance, and the delay/leakage sensitivities to
+// channel-length and threshold-voltage variation that the statistical
+// analyses consume.
+//
+// The paper characterized cells in SPICE on a 100nm BPTM process; this
+// package substitutes the closed-form models those SPICE runs reduce
+// to (see DESIGN.md §3):
+//
+//   - delay:   d = τ(Vth)·(Cl/(s·Cu) + p(type)),   τ ∝ Leff/(Vdd−Vth)^α
+//   - leakage: P = Vdd·I₀·w(type)·s·sf(type)·10^(−Vth/S)
+//
+// with threshold roll-off Vth_eff = Vth + k_roll·ΔLeff coupling both to
+// the Gaussian ΔLeff: delay becomes (approximately) linear and leakage
+// exactly exponential — i.e. lognormal — in ΔLeff, which is the
+// structure the statistical optimizer exploits.
+//
+// Units used throughout the repository: ps (delay), fF (capacitance),
+// nm (length), V (voltage), nW (leakage power). kΩ·fF = ns·10⁻³ = ps,
+// so the numbers stay O(1..1000).
+package tech
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/logic"
+)
+
+// VthClass selects one of the two threshold-voltage flavors every cell
+// is available in.
+type VthClass uint8
+
+const (
+	// LowVth is the fast, leaky flavor.
+	LowVth VthClass = iota
+	// HighVth is the slow, low-leakage flavor.
+	HighVth
+
+	// NumVthClasses is the number of threshold flavors.
+	NumVthClasses = 2
+)
+
+// String names the Vth class.
+func (v VthClass) String() string {
+	switch v {
+	case LowVth:
+		return "LVT"
+	case HighVth:
+		return "HVT"
+	}
+	return fmt.Sprintf("VthClass(%d)", uint8(v))
+}
+
+// Valid reports whether v is a defined class.
+func (v VthClass) Valid() bool { return v < NumVthClasses }
+
+// Params holds the process-level constants of a technology node.
+type Params struct {
+	Name string
+
+	Vdd     float64 // supply voltage [V]
+	LeffNom float64 // nominal effective channel length [nm]
+
+	VthLow  float64 // low-Vth nominal threshold [V]
+	VthHigh float64 // high-Vth nominal threshold [V]
+
+	Alpha    float64 // alpha-power-law velocity-saturation exponent
+	SubSwing float64 // subthreshold swing S [V/decade]
+	KRoll    float64 // Vth roll-off dVth/dLeff [V/nm] (longer channel ⇒ higher Vth)
+
+	Tau0Ps    float64 // unit-inverter LVT time constant τ₀ [ps]
+	CinUnitFF float64 // unit-inverter input capacitance [fF]
+
+	I0LeakNA   float64 // subthreshold current scale at Vth=0 per unit width factor [nA]
+	GateLeakNW float64 // gate-tunneling leakage per unit width factor [nW], Vth-independent
+
+	WireCapPerFanoutFF float64 // lumped wire capacitance per fanout connection [fF]
+	POLoadFF           float64 // capacitive load on each primary output [fF]
+
+	DffSetupPs float64 // flip-flop setup time [ps] (capture margin at DFF data pins)
+
+	// TempC is the operating temperature [°C]. The named constants
+	// (SubSwing, I0LeakNA, Tau0Ps) are their values at the 25°C
+	// reference; NewLibrary derives the effective values:
+	//
+	//   S(T)  = S_ref · T/T_ref          (subthreshold swing ∝ kT/q)
+	//   I0(T) = I0_ref · (T/T_ref)²      (subthreshold prefactor)
+	//   τ(T)  = τ_ref · (T/T_ref)^1.5    (mobility degradation; the
+	//                                     partially compensating Vth(T)
+	//                                     drop is folded into the
+	//                                     exponent choice)
+	//
+	// with T in kelvin. Zero means the 25°C reference.
+	TempC float64
+}
+
+// referenceTempC is the characterization temperature of the named
+// constants.
+const referenceTempC = 25.0
+
+// Default100nm returns the 100nm-class parameter set used by all
+// experiments. The constants are era-typical: HVT is ~20% slower and
+// ~23× less leaky than LVT; a 3σ channel-length excursion multiplies
+// LVT leakage ~3×.
+func Default100nm() *Params {
+	return &Params{
+		Name:               "generic-100nm",
+		Vdd:                1.2,
+		LeffNom:            60,
+		VthLow:             0.20,
+		VthHigh:            0.33,
+		Alpha:              1.3,
+		SubSwing:           0.095,
+		KRoll:              0.004,
+		Tau0Ps:             7.0,
+		CinUnitFF:          2.0,
+		I0LeakNA:           3000,
+		GateLeakNW:         1.5,
+		WireCapPerFanoutFF: 0.4,
+		POLoadFF:           8.0,
+		DffSetupPs:         40,
+	}
+}
+
+// Validate sanity-checks the parameter set.
+func (p *Params) Validate() error {
+	switch {
+	case p.Vdd <= 0:
+		return fmt.Errorf("tech: Vdd %g must be > 0", p.Vdd)
+	case p.LeffNom <= 0:
+		return fmt.Errorf("tech: LeffNom %g must be > 0", p.LeffNom)
+	case p.VthLow <= 0 || p.VthHigh <= p.VthLow:
+		return fmt.Errorf("tech: need 0 < VthLow (%g) < VthHigh (%g)", p.VthLow, p.VthHigh)
+	case p.VthHigh >= p.Vdd:
+		return fmt.Errorf("tech: VthHigh %g must be < Vdd %g", p.VthHigh, p.Vdd)
+	case p.Alpha < 1 || p.Alpha > 2:
+		return fmt.Errorf("tech: Alpha %g outside [1,2]", p.Alpha)
+	case p.SubSwing <= 0:
+		return fmt.Errorf("tech: SubSwing %g must be > 0", p.SubSwing)
+	case p.KRoll < 0:
+		return fmt.Errorf("tech: KRoll %g must be >= 0", p.KRoll)
+	case p.Tau0Ps <= 0 || p.CinUnitFF <= 0 || p.I0LeakNA <= 0:
+		return fmt.Errorf("tech: Tau0Ps/CinUnitFF/I0LeakNA must be > 0")
+	case p.DffSetupPs < 0:
+		return fmt.Errorf("tech: DffSetupPs %g must be >= 0", p.DffSetupPs)
+	case p.TempC < -40 || p.TempC > 150:
+		return fmt.Errorf("tech: TempC %g outside [-40, 150]", p.TempC)
+	}
+	return nil
+}
+
+// tempRatio returns T/T_ref in kelvin.
+func (p *Params) tempRatio() float64 {
+	t := p.TempC
+	if t == 0 {
+		t = referenceTempC
+	}
+	return (273.15 + t) / (273.15 + referenceTempC)
+}
+
+// Vth returns the nominal threshold of the class.
+func (p *Params) Vth(v VthClass) float64 {
+	if v == HighVth {
+		return p.VthHigh
+	}
+	return p.VthLow
+}
+
+// LeakBeta returns β = ln10/S, the exponential leakage sensitivity to
+// threshold voltage: I = I_nom·exp(−β·ΔVth).
+func (p *Params) LeakBeta() float64 { return math.Ln10 / p.SubSwing }
+
+// cellTraits carries the per-gate-type electrical characterization:
+// logical effort g, parasitic delay p (in τ units), relative total
+// transistor width w (leakage weight), and stack factor sf (leakage
+// reduction from series transistor stacks).
+type cellTraits struct {
+	g, p, w, sf float64
+}
+
+var traits = [logic.NumGateTypes]cellTraits{
+	logic.Input: {g: 0, p: 0, w: 0, sf: 0},
+	logic.Buf:   {g: 1, p: 2.0, w: 1.8, sf: 0.90},
+	logic.Inv:   {g: 1, p: 1.0, w: 1.0, sf: 1.00},
+	logic.Nand2: {g: 4.0 / 3.0, p: 2.0, w: 2.2, sf: 0.55},
+	logic.Nand3: {g: 5.0 / 3.0, p: 3.0, w: 3.6, sf: 0.42},
+	logic.Nand4: {g: 2.0, p: 4.0, w: 5.3, sf: 0.35},
+	logic.Nor2:  {g: 5.0 / 3.0, p: 2.0, w: 2.6, sf: 0.55},
+	logic.Nor3:  {g: 7.0 / 3.0, p: 3.0, w: 4.4, sf: 0.42},
+	logic.Nor4:  {g: 3.0, p: 4.0, w: 6.7, sf: 0.35},
+	logic.And2:  {g: 1.5, p: 3.0, w: 3.2, sf: 0.70},
+	logic.And3:  {g: 1.8, p: 4.0, w: 4.6, sf: 0.60},
+	logic.And4:  {g: 2.1, p: 5.0, w: 6.3, sf: 0.50},
+	logic.Or2:   {g: 1.8, p: 3.0, w: 3.6, sf: 0.70},
+	logic.Or3:   {g: 2.4, p: 4.0, w: 5.4, sf: 0.60},
+	logic.Or4:   {g: 3.1, p: 5.0, w: 7.7, sf: 0.50},
+	logic.Xor2:  {g: 4.0, p: 4.0, w: 4.5, sf: 0.80},
+	logic.Xnor2: {g: 4.0, p: 4.0, w: 4.5, sf: 0.80},
+	// Dff: the "delay" of a flip-flop cell is its clock-to-Q; the data
+	// pin presents a modest input capacitance; flip-flops are wide
+	// (master+slave latches, clock buffers) and leak accordingly.
+	logic.Dff: {g: 1.2, p: 3.0, w: 7.0, sf: 0.80},
+}
+
+// LogicalEffort returns the logical effort g of the gate type.
+func LogicalEffort(t logic.GateType) float64 { return traits[t].g }
+
+// ParasiticDelay returns the parasitic delay p of the gate type, in τ
+// units.
+func ParasiticDelay(t logic.GateType) float64 { return traits[t].p }
+
+// DefaultSizes is the discrete drive-strength ladder of the library.
+// Steps of ~1.25-1.4× keep greedy sizing moves fine-grained enough for
+// the sensitivity heuristics (a ×2 ladder makes single moves so
+// chunky that upsizing a gate often hurts its drivers more than it
+// helps the gate).
+var DefaultSizes = []float64{1, 1.25, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10, 12, 16}
+
+// Library binds a Params to a discrete size ladder and provides the
+// per-cell delay, capacitance and leakage models, with the
+// temperature-effective constants baked in.
+type Library struct {
+	P     *Params
+	Sizes []float64 // ascending drive strengths
+
+	tauLVT, tauHVT float64 // precomputed τ per class (at temperature)
+	leak10         [NumVthClasses]float64
+	tau0Eff        float64 // τ₀ at temperature
+	subSwingEff    float64 // S at temperature
+	i0Eff          float64 // I₀ at temperature
+}
+
+// NewLibrary builds a library over the default size ladder.
+func NewLibrary(p *Params) (*Library, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lb := &Library{P: p, Sizes: append([]float64(nil), DefaultSizes...)}
+	tr := p.tempRatio()
+	lb.tau0Eff = p.Tau0Ps * math.Pow(tr, 1.5)
+	lb.subSwingEff = p.SubSwing * tr
+	lb.i0Eff = p.I0LeakNA * tr * tr
+	lb.tauLVT = lb.tau0Eff
+	ratio := (p.Vdd - p.VthLow) / (p.Vdd - p.VthHigh)
+	lb.tauHVT = lb.tau0Eff * math.Pow(ratio, p.Alpha)
+	lb.leak10[LowVth] = math.Pow(10, -p.VthLow/lb.subSwingEff)
+	lb.leak10[HighVth] = math.Pow(10, -p.VthHigh/lb.subSwingEff)
+	return lb, nil
+}
+
+// LeakBeta returns the effective β = ln10/S(T): the exponential
+// leakage sensitivity to threshold shifts at the library temperature.
+func (lb *Library) LeakBeta() float64 { return math.Ln10 / lb.subSwingEff }
+
+// Tau returns the time constant τ(Vth class) [ps].
+func (lb *Library) Tau(v VthClass) float64 {
+	if v == HighVth {
+		return lb.tauHVT
+	}
+	return lb.tauLVT
+}
+
+// SizeIndex returns the index of size s in the ladder, or -1.
+func (lb *Library) SizeIndex(s float64) int {
+	for i, v := range lb.Sizes {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// InputCap returns the capacitance of one input pin of a cell [fF].
+// It scales with size and logical effort and is independent of the
+// Vth flavor (same transistor widths, different channel doping).
+func (lb *Library) InputCap(t logic.GateType, size float64) float64 {
+	return traits[t].g * size * lb.P.CinUnitFF
+}
+
+// ParasiticCap returns the intrinsic output capacitance of the cell
+// [fF] — the part of the load the cell presents to itself.
+func (lb *Library) ParasiticCap(t logic.GateType, size float64) float64 {
+	return traits[t].p * size * lb.P.CinUnitFF * 0.5
+}
+
+// Delay returns the nominal propagation delay [ps] of a cell of the
+// given type, Vth flavor and size driving loadFF.
+//
+//	d = τ(v) · (loadFF/(size·Cu) + p(type))
+//
+// Larger cells drive a given load faster but present more input
+// capacitance to their drivers; high-Vth cells are uniformly slower by
+// the alpha-power factor.
+func (lb *Library) Delay(t logic.GateType, v VthClass, size, loadFF float64) float64 {
+	if t == logic.Input {
+		return 0
+	}
+	return lb.Tau(v) * (loadFF/(size*lb.P.CinUnitFF) + traits[t].p)
+}
+
+// DelayWith returns the exact (nonlinear) delay [ps] under a channel-
+// length excursion dLnm [nm] and an independent threshold shift dVthV
+// [V]. This is the model Monte Carlo evaluates; DelayDerivs is its
+// linearization at (0,0).
+func (lb *Library) DelayWith(t logic.GateType, v VthClass, size, loadFF, dLnm, dVthV float64) float64 {
+	if t == logic.Input {
+		return 0
+	}
+	p := lb.P
+	vthEff := p.Vth(v) + p.KRoll*dLnm + dVthV
+	if vthEff >= p.Vdd-0.01 {
+		vthEff = p.Vdd - 0.01 // clamp: the device barely turns on
+	}
+	leff := p.LeffNom + dLnm
+	if leff < p.LeffNom*0.5 {
+		leff = p.LeffNom * 0.5
+	}
+	tau := lb.tau0Eff * (leff / p.LeffNom) *
+		math.Pow((p.Vdd-p.VthLow)/(p.Vdd-vthEff), p.Alpha)
+	return tau * (loadFF/(size*p.CinUnitFF) + traits[t].p)
+}
+
+// DelayDerivs returns the first-order sensitivities of Delay to ΔLeff
+// [ps/nm] and to an independent ΔVth [ps/V], evaluated at the nominal
+// point. SSTA builds its canonical forms from these.
+func (lb *Library) DelayDerivs(t logic.GateType, v VthClass, size, loadFF float64) (dPerNm, dPerV float64) {
+	if t == logic.Input {
+		return 0, 0
+	}
+	d := lb.Delay(t, v, size, loadFF)
+	p := lb.P
+	vth := p.Vth(v)
+	dPerV = d * p.Alpha / (p.Vdd - vth)
+	dPerNm = d*(1/p.LeffNom) + dPerV*p.KRoll
+	return dPerNm, dPerV
+}
+
+// Leak returns the nominal leakage power [nW] of a cell: the
+// subthreshold component (exponential in Vth) plus the small
+// Vth-independent gate-tunneling component.
+func (lb *Library) Leak(t logic.GateType, v VthClass, size float64) float64 {
+	return lb.SubLeak(t, v, size) + lb.GateLeak(t, size)
+}
+
+// SubLeak returns only the subthreshold component [nW] — the part that
+// varies lognormally with process.
+func (lb *Library) SubLeak(t logic.GateType, v VthClass, size float64) float64 {
+	if t == logic.Input {
+		return 0
+	}
+	tr := traits[t]
+	// nA × V = nW: a unit LVT inverter lands at ~28 nW (see tests).
+	return lb.P.Vdd * lb.i0Eff * tr.w * size * tr.sf * lb.leak10[v]
+}
+
+// GateLeak returns the Vth-independent gate-tunneling component [nW].
+func (lb *Library) GateLeak(t logic.GateType, size float64) float64 {
+	if t == logic.Input {
+		return 0
+	}
+	return lb.P.GateLeakNW * traits[t].w * size
+}
+
+// LeakWith returns the exact subthreshold leakage [nW] under a
+// channel-length excursion dLnm and independent threshold shift dVthV
+// (gate leakage added unvaried):
+//
+//	P = P_nom · exp(−β·(k_roll·ΔL + ΔVth))
+//
+// Shorter channels (ΔL < 0) lower the effective threshold and raise
+// leakage exponentially — the asymmetry that drives the whole paper.
+func (lb *Library) LeakWith(t logic.GateType, v VthClass, size, dLnm, dVthV float64) float64 {
+	if t == logic.Input {
+		return 0
+	}
+	beta := lb.LeakBeta()
+	dvth := lb.P.KRoll*dLnm + dVthV
+	return lb.SubLeak(t, v, size)*math.Exp(-beta*dvth) + lb.GateLeak(t, size)
+}
+
+// LeakExponents returns the coefficients (bL [1/nm], bV [1/V]) of the
+// leakage exponent: SubLeak_varied = SubLeak_nom·exp(−bL·ΔL − bV·ΔVth).
+// These are Vth-class independent under the roll-off model.
+func (lb *Library) LeakExponents() (bL, bV float64) {
+	beta := lb.LeakBeta()
+	return beta * lb.P.KRoll, beta
+}
+
+// HVTLeakRatio returns the nominal HVT/LVT subthreshold leakage ratio
+// (a small number; its inverse is the classic "dual-Vth leverage").
+func (lb *Library) HVTLeakRatio() float64 {
+	return lb.leak10[HighVth] / lb.leak10[LowVth]
+}
+
+// HVTDelayRatio returns the HVT/LVT delay ratio (> 1).
+func (lb *Library) HVTDelayRatio() float64 { return lb.tauHVT / lb.tauLVT }

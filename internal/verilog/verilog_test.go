@@ -1,0 +1,233 @@
+package verilog_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/verilog"
+)
+
+const c17Verilog = `
+// c17 in structural verilog
+module c17 (G1, G2, G3, G6, G7, G22, G23);
+  input G1, G2, G3, G6, G7;
+  output G22, G23;
+  wire G10, G11, G16, G19;
+
+  nand g1 (G10, G1, G3);
+  nand g2 (G11, G3, G6);
+  nand g3 (G16, G2, G11);
+  nand g4 (G19, G11, G7);
+  nand g5 (G22, G10, G16);
+  nand g6 (G23, G16, G19);
+endmodule
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := verilog.ParseString(c17Verilog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 5 || c.NumOutputs() != 2 || c.NumGates() != 6 {
+		t.Fatalf("shape: %d/%d/%d", c.NumInputs(), c.NumOutputs(), c.NumGates())
+	}
+	g, ok := c.GateByName("G16")
+	if !ok || g.Type != logic.Nand2 {
+		t.Error("G16 missing or wrong type")
+	}
+}
+
+func TestCrossFormatEquivalence(t *testing.T) {
+	// The same circuit parsed from .bench and from Verilog must be
+	// functionally identical.
+	vb, err := verilog.ParseString(c17Verilog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := bench.ParseString("c17", bench.C17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 32; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0, v&16 != 0}
+		va, err := vb.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := bb.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range vb.Outputs() {
+			if va[o] != ba[bb.Outputs()[i]] {
+				t.Fatalf("formats disagree at vector %d", v)
+			}
+		}
+	}
+}
+
+func TestWriteParseRoundTripCombinational(t *testing.T) {
+	cfg, err := bench.SuiteConfig("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := bench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := verilog.Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := verilog.ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if back.NumGates() != orig.NumGates() || back.NumInputs() != orig.NumInputs() ||
+		back.NumOutputs() != orig.NumOutputs() {
+		t.Fatal("round trip changed shape")
+	}
+	// Spot-check functional equivalence on random-ish vectors.
+	nIn := orig.NumInputs()
+	for trial := 0; trial < 16; trial++ {
+		in := make([]bool, nIn)
+		for i := range in {
+			in[i] = (trial*31+i*7)%3 == 0
+		}
+		va, err := orig.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := back.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range orig.Outputs() {
+			bo, ok := back.GateByName(orig.Gate(o).Name)
+			if !ok {
+				t.Fatalf("output %s lost", orig.Gate(o).Name)
+			}
+			if va[o] != vb[bo.ID] {
+				t.Fatalf("trial %d: outputs differ (%d)", trial, i)
+			}
+		}
+	}
+}
+
+func TestWriteParseRoundTripSequential(t *testing.T) {
+	orig, err := bench.ParseString("s27", bench.S27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := verilog.Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dff ") {
+		t.Fatalf("writer dropped dffs:\n%s", buf.String())
+	}
+	back, err := verilog.ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if back.NumDffs() != 3 {
+		t.Fatalf("FFs = %d, want 3", back.NumDffs())
+	}
+	for v := 0; v < 128; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0}
+		st := []bool{v&16 != 0, v&32 != 0, v&64 != 0}
+		_, na, err := orig.SimulateSeq(in, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, nb, err := back.SimulateSeq(in, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("next state differs at v=%d", v)
+			}
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+/* block
+   comment */
+module m (a, y); // trailing
+  input a;
+  output y;
+  not g1 (y, a); /* inline */
+endmodule
+`
+	c, err := verilog.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 {
+		t.Error("comment handling broke parsing")
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `
+module m (a, y);
+  input a;
+  output y;
+  wire n;
+  not g2 (y, n);
+  not g1 (n, a);
+endmodule
+`
+	if _, err := verilog.ParseString(src); err != nil {
+		t.Fatalf("forward reference rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no module", "wire x;\n"},
+		{"missing endmodule", "module m (a);\ninput a;\n"},
+		{"unknown primitive", "module m (a, y);\ninput a;\noutput y;\nfrob g (y, a);\nendmodule\n"},
+		{"undefined operand", "module m (a, y);\ninput a;\noutput y;\nnot g (y, zzz);\nendmodule\n"},
+		{"undefined output", "module m (a, y);\ninput a;\noutput y;\nnot g (q, a);\nendmodule\n"},
+		{"comb cycle", "module m (a, y);\ninput a;\noutput y;\nwire n;\nnand g1 (y, a, n);\nnot g2 (n, y);\nendmodule\n"},
+		{"dff ports", "module m (a, y);\ninput a;\noutput y;\ndff g (y, a, a);\nendmodule\n"},
+		{"unterminated comment", "module m (a, y); /* oops\n"},
+		{"bad char", "module m (a, y);\ninput a;\noutput y;\nnot g (y, a) @;\nendmodule\n"},
+	}
+	for _, tc := range cases {
+		if _, err := verilog.ParseString(tc.src); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSequentialFeedbackParses(t *testing.T) {
+	// Q feeds the logic that computes D: legal, via the DFF launch
+	// semantics.
+	src := `
+module toggle (en, y);
+  input en;
+  output y;
+  wire q;
+  dff f (q, y);
+  xor g (y, q, en);
+endmodule
+`
+	c, err := verilog.ParseString(src)
+	if err != nil {
+		t.Fatalf("feedback rejected: %v", err)
+	}
+	if c.NumDffs() != 1 {
+		t.Error("FF lost")
+	}
+}

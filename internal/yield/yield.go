@@ -1,0 +1,87 @@
+// Package yield computes parametric-yield metrics over a design:
+// timing yield (from SSTA or Monte Carlo), leakage-constrained power
+// yield, and the combined yield of dies that meet both constraints —
+// the quantities the paper's evaluation reports.
+package yield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/leakage"
+	"repro/internal/montecarlo"
+	"repro/internal/ssta"
+)
+
+// Timing returns the SSTA-estimated timing yield P(delay ≤ tmax).
+func Timing(d *core.Design, tmax float64) (float64, error) {
+	r, err := ssta.Analyze(d)
+	if err != nil {
+		return 0, err
+	}
+	return r.Yield(tmax), nil
+}
+
+// Leakage returns the analytic leakage yield P(total leakage ≤
+// budgetNW) from the lognormal-matched model.
+func Leakage(d *core.Design, budgetNW float64) (float64, error) {
+	an, err := leakage.Exact(d)
+	if err != nil {
+		return 0, err
+	}
+	return an.CDF(budgetNW), nil
+}
+
+// MC holds Monte Carlo yield estimates; the combined yield counts dies
+// meeting both constraints on the same sample, capturing the
+// delay-leakage correlation (slow dies leak less) that multiplying
+// marginal yields would miss.
+type MC struct {
+	Timing   float64
+	Leakage  float64
+	Combined float64
+	Samples  int
+}
+
+// FromMC computes yields from an existing Monte Carlo result.
+func FromMC(res *montecarlo.Result, tmaxPs, leakBudgetNW float64) (MC, error) {
+	n := len(res.DelaysPs)
+	if n == 0 || n != len(res.LeaksNW) {
+		return MC{}, fmt.Errorf("yield: malformed MC result (%d delay, %d leak samples)",
+			n, len(res.LeaksNW))
+	}
+	var ok, okT, okL int
+	for i := 0; i < n; i++ {
+		t := res.DelaysPs[i] <= tmaxPs
+		l := res.LeaksNW[i] <= leakBudgetNW
+		if t {
+			okT++
+		}
+		if l {
+			okL++
+		}
+		if t && l {
+			ok++
+		}
+	}
+	return MC{
+		Timing:   float64(okT) / float64(n),
+		Leakage:  float64(okL) / float64(n),
+		Combined: float64(ok) / float64(n),
+		Samples:  n,
+	}, nil
+}
+
+// Curve samples the SSTA timing-yield curve Yield(T) at the given
+// constraints.
+func Curve(d *core.Design, tmaxs []float64) ([]float64, error) {
+	r, err := ssta.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(tmaxs))
+	for i, t := range tmaxs {
+		out[i] = r.Yield(t)
+	}
+	return out, nil
+}
