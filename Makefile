@@ -1,0 +1,24 @@
+# Tier-1 checks plus the race pass over the concurrent paths
+# (engine.ScoreAll worker pool, montecarlo sample pool).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine ./internal/montecarlo
+
+# bench regenerates the evaluation (see bench_test.go / DESIGN.md §5).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

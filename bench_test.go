@@ -13,6 +13,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/fixture"
 	"repro/internal/leakage"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/ssta"
 	"repro/internal/sta"
+	"repro/internal/tech"
 )
 
 func benchCtx() *exp.Context {
@@ -209,6 +211,117 @@ func BenchmarkSSTAIncrementalUpdate(b *testing.B) {
 			b.Fatal(err)
 		}
 		inc.Update(id)
+	}
+}
+
+// BenchmarkEngineIncrementalVsFull compares one optimizer-style
+// evaluation step through the engine — apply a move, read the delay
+// and leakage percentiles off the incrementally maintained caches,
+// revert — against the same step with from-scratch analyses
+// (ssta.Analyze + a fresh leakage.Accumulator) per move. The ratio of
+// the two is the engine's per-move speedup (recorded in
+// EXPERIMENTS.md).
+func BenchmarkEngineIncrementalVsFull(b *testing.B) {
+	setup := func(b *testing.B) (*engine.Engine, []engine.Move) {
+		d, err := fixture.Suite("s1908")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(d, engine.Config{TmaxPs: 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var moves []engine.Move
+		for _, id := range d.Circuit.Outputs() {
+			sw, err := engine.NewVthSwap(d, id, tech.HighVth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			moves = append(moves, sw)
+			if up, ok := engine.NewUpsize(d, id); ok {
+				moves = append(moves, up)
+			}
+		}
+		return e, moves
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		e, moves := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mv := moves[i%len(moves)]
+			if err := e.Apply(mv); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.DelayQuantile(0.99); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.LeakQuantile(0.99); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Revert(mv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("full", func(b *testing.B) {
+		e, moves := setup(b)
+		d := e.Design()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mv := moves[i%len(moves)]
+			if err := mv.Apply(d); err != nil {
+				b.Fatal(err)
+			}
+			sr, err := ssta.Analyze(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if q := sr.Quantile(0.99); q <= 0 {
+				b.Fatal("bad delay quantile")
+			}
+			acc, err := leakage.NewAccumulator(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if q := acc.Quantile(0.99); q <= 0 {
+				b.Fatal("bad leak quantile")
+			}
+			if err := mv.Revert(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineScoreAll measures one parallel scoring sweep of every
+// PO-gate candidate through the worker-pool ScoreAll path.
+func BenchmarkEngineScoreAll(b *testing.B) {
+	d, err := fixture.Suite("s1908")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(d, engine.Config{TmaxPs: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var moves []engine.Move
+	for _, id := range d.Circuit.Outputs() {
+		sw, err := engine.NewVthSwap(d, id, tech.HighVth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		moves = append(moves, sw)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ScoreAll(moves); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

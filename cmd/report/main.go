@@ -18,9 +18,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/leakage"
 	"repro/internal/logic"
-	"repro/internal/ssta"
 	"repro/internal/sta"
 	"repro/internal/tech"
 	"repro/internal/variation"
@@ -77,7 +77,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sr, err := ssta.Analyze(d)
+	// Statistical view through the shared evaluation engine (the same
+	// incremental-SSTA path the optimizers iterate on).
+	eng, err := engine.New(d, engine.Config{TmaxPs: tr0.MaxDelay})
+	if err != nil {
+		fatal(err)
+	}
+	sr, err := eng.Timing()
 	if err != nil {
 		fatal(err)
 	}
@@ -97,7 +103,7 @@ func main() {
 	fmt.Println()
 
 	// Criticality.
-	crit, err := sr.Criticality(d)
+	crit, err := eng.Criticality()
 	if err != nil {
 		fatal(err)
 	}

@@ -92,6 +92,19 @@ func (d *Design) SetSize(id int, s float64) error {
 	return nil
 }
 
+// SizeIndex returns the ladder index of gate id's current size (−1 if
+// the size is somehow off the ladder, which SetSize prevents).
+func (d *Design) SizeIndex(id int) int { return d.Lib.SizeIndex(d.Size[id]) }
+
+// SetSizeIndex assigns the ladder size at index idx to gate id.
+func (d *Design) SetSizeIndex(id, idx int) error {
+	if idx < 0 || idx >= len(d.Lib.Sizes) {
+		return fmt.Errorf("core: size index %d outside ladder [0,%d)", idx, len(d.Lib.Sizes))
+	}
+	d.Size[id] = d.Lib.Sizes[idx]
+	return nil
+}
+
 // IsOutput reports whether node id is a primary output (O(1)).
 func (d *Design) IsOutput(id int) bool { return d.isOut[id] }
 

@@ -1,0 +1,75 @@
+package engine
+
+import "fmt"
+
+// Txn batches moves so a whole candidate set can be applied, verified
+// against the (incrementally maintained) timing/leakage views, and
+// then committed or peeled back move by move. A transaction is a
+// bookkeeping layer over Engine.Apply/Revert — the engine's caches
+// stay live and queryable mid-transaction, which is exactly what the
+// batch-verify loops need.
+type Txn struct {
+	e      *Engine
+	moves  []Move
+	closed bool
+}
+
+// Begin opens a transaction. Only one should be live at a time; the
+// engine does not arbitrate interleaved transactions.
+func (e *Engine) Begin() *Txn { return &Txn{e: e} }
+
+// Apply performs a move inside the transaction.
+func (t *Txn) Apply(m Move) error {
+	if t.closed {
+		return fmt.Errorf("engine: Apply on a closed transaction")
+	}
+	if err := t.e.Apply(m); err != nil {
+		return err
+	}
+	t.moves = append(t.moves, m)
+	return nil
+}
+
+// Len returns the number of applied, not-yet-reverted moves.
+func (t *Txn) Len() int { return len(t.moves) }
+
+// Moves returns the applied moves in application order (read-only).
+func (t *Txn) Moves() []Move { return t.moves }
+
+// PopRevert undoes the most recent move and removes it from the
+// transaction — the batch-trimming primitive: verify, peel the
+// lowest-value tail move, verify again.
+func (t *Txn) PopRevert() (Move, error) {
+	if t.closed {
+		return nil, fmt.Errorf("engine: PopRevert on a closed transaction")
+	}
+	if len(t.moves) == 0 {
+		return nil, fmt.Errorf("engine: PopRevert on an empty transaction")
+	}
+	m := t.moves[len(t.moves)-1]
+	if err := t.e.Revert(m); err != nil {
+		return nil, err
+	}
+	t.moves = t.moves[:len(t.moves)-1]
+	return m, nil
+}
+
+// Rollback undoes every remaining move in reverse order and closes the
+// transaction.
+func (t *Txn) Rollback() error {
+	if t.closed {
+		return fmt.Errorf("engine: Rollback on a closed transaction")
+	}
+	for len(t.moves) > 0 {
+		if _, err := t.PopRevert(); err != nil {
+			return err
+		}
+	}
+	t.closed = true
+	return nil
+}
+
+// Commit keeps every remaining move and closes the transaction.
+func (t *Txn) Commit() {
+	t.closed = true
+}

@@ -11,8 +11,10 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/montecarlo"
 	"repro/internal/opt"
+	"repro/internal/ssta"
 	"repro/internal/tech"
 	"repro/internal/variation"
 )
@@ -155,6 +157,17 @@ func RunPair(pr *Prepared) (*OptimizedPair, error) {
 	pair.StatTime = time.Since(t1)
 	pair.StatRes = sres
 	return pair, nil
+}
+
+// timingOf returns a design's statistical timing view through the
+// shared evaluation engine (the same analysis path the optimizers
+// iterate on).
+func timingOf(d *core.Design, tmaxPs float64) (*ssta.Result, error) {
+	e, err := engine.New(d, engine.Config{TmaxPs: tmaxPs})
+	if err != nil {
+		return nil, err
+	}
+	return e.Timing()
 }
 
 // mcOn runs the context's Monte Carlo on a design.

@@ -7,7 +7,6 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/opt"
 	"repro/internal/report"
-	"repro/internal/ssta"
 	"repro/internal/stats"
 	"repro/internal/variation"
 )
@@ -79,11 +78,11 @@ func (ctx *Context) Figure2() (*report.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	srB, err := ssta.Analyze(before)
+	srB, err := timingOf(before, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
-	srA, err := ssta.Analyze(after)
+	srA, err := timingOf(after, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
@@ -188,11 +187,11 @@ func (ctx *Context) Figure5() (*report.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	srD, err := ssta.Analyze(pair.Det)
+	srD, err := timingOf(pair.Det, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
-	srS, err := ssta.Analyze(pair.Stat)
+	srS, err := timingOf(pair.Stat, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}

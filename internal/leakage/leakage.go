@@ -205,6 +205,31 @@ func NewAccumulator(d *core.Design) (*Accumulator, error) {
 	return a, nil
 }
 
+// CloneFor returns an independent copy of the factored state bound to
+// d, which must be a clone of the original design in the same
+// assignment state. The exponent statistics are shared (they depend
+// only on placement and technology, not on the assignment); all
+// accumulated sums are deep-copied so the clone can Update freely —
+// parallel move scorers each carry their own accumulator this way.
+func (a *Accumulator) CloneFor(d *core.Design) *Accumulator {
+	return &Accumulator{
+		d:        d,
+		exps:     a.exps,
+		k:        a.k,
+		m:        append([]float64(nil), a.m...),
+		diagExp:  append([]float64(nil), a.diagExp...),
+		gl:       append([]float64(nil), a.gl...),
+		M:        a.M,
+		Q:        a.Q,
+		v:        append([]float64(nil), a.v...),
+		b:        append([]float64(nil), a.b...),
+		d1:       a.d1,
+		d2:       a.d2,
+		gateLeak: a.gateLeak,
+		second2:  a.second2,
+	}
+}
+
 // addGate adds (sign=+1) or removes (sign=-1) gate id's contribution.
 // On removal the cached per-gate values are used, because the design's
 // assignment has typically already changed by the time Update runs.

@@ -36,9 +36,11 @@ const (
 
 // Config controls a Monte Carlo run.
 type Config struct {
-	Samples  int
-	Seed     int64
-	Workers  int // 0 ⇒ GOMAXPROCS
+	Samples int
+	Seed    int64
+	// Workers bounds the worker pool draining the sample channel
+	// (0 ⇒ runtime.NumCPU()).
+	Workers  int
 	Sampling Sampling
 }
 
@@ -91,7 +93,7 @@ func Run(d *core.Design, cfg Config) (*Result, error) {
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.NumCPU()
 	}
 	if workers > cfg.Samples {
 		workers = cfg.Samples
@@ -133,29 +135,26 @@ func Run(d *core.Design, cfg Config) (*Result, error) {
 		lhs = latinHypercube(cfg.Samples, d.Var.NumPC, cfg.Seed)
 	}
 
+	// Bounded fan-out: a fixed pool of workers pulls sample indices
+	// from a channel. Results stay deterministic for a given
+	// (Samples, Seed) regardless of worker count or scheduling, because
+	// every sample derives its whole RNG stream from its own index and
+	// writes only its own result slots.
 	res := &Result{
 		DelaysPs: make([]float64, cfg.Samples),
 		LeaksNW:  make([]float64, cfg.Samples),
 	}
+	jobs := make(chan int, workers)
 	var wg sync.WaitGroup
-	chunk := (cfg.Samples + workers - 1) / workers
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > cfg.Samples {
-			hi = cfg.Samples
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
 			delays := make([]float64, n)
 			scratch := make([]float64, n)
 			lib := d.Lib
 			vm := d.Var
-			for s := lo; s < hi; s++ {
+			for s := range jobs {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
 				die := vm.SampleGlobals(rng)
 				if lhs != nil {
@@ -177,8 +176,12 @@ func Run(d *core.Design, cfg Config) (*Result, error) {
 				res.DelaysPs[s] = sta.MaxDelayWithDelays(d.Circuit, order, delays, scratch, d.Lib.P.DffSetupPs)
 				res.LeaksNW[s] = leak
 			}
-		}(lo, hi)
+		}()
 	}
+	for s := 0; s < cfg.Samples; s++ {
+		jobs <- s
+	}
+	close(jobs)
 	wg.Wait()
 	return res, nil
 }

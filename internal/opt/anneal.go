@@ -6,8 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/leakage"
-	"repro/internal/ssta"
+	"repro/internal/engine"
 	"repro/internal/tech"
 )
 
@@ -39,9 +38,11 @@ func DefaultAnnealConfig() AnnealConfig {
 
 // Anneal runs simulated annealing over the (Vth, size) assignment,
 // minimizing the objective leakage percentile with a smooth penalty
-// for missing the timing-yield target. Every accepted state is
-// evaluated with a full SSTA (no incremental shortcuts), so this is
-// slow but unbiased; the final state is the best feasible one seen.
+// for missing the timing-yield target. Every proposed state is
+// evaluated through the engine — cone-local incremental re-timing with
+// a periodic full refresh — so the walk costs O(cone) per move instead
+// of a full SSTA; the final state is the best feasible one seen. The
+// trajectory is deterministic per seed.
 func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 	start := time.Now()
 	if err := o.Validate(); err != nil {
@@ -50,17 +51,19 @@ func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &StatResult{}
 
-	acc, err := leakage.NewAccumulator(d)
+	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
 		return nil, err
 	}
 	evalObjective := func() (obj, yield, q float64, err error) {
-		sr, err := ssta.Analyze(d)
+		yield, err = e.Yield()
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		yield = sr.Yield(o.TmaxPs)
-		q = acc.Quantile(o.LeakPercentile)
+		q, err = e.LeakQuantile(o.LeakPercentile)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		obj = q * (1 + cfg.YieldPenalty*math.Max(0, o.YieldTarget-yield))
 		return obj, yield, q, nil
 	}
@@ -93,33 +96,43 @@ func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 		id := gates[rng.Intn(len(gates))]
 
 		// Propose: flip Vth, or step the size one notch either way.
-		var undo func()
+		var mv engine.Move
 		switch {
 		case o.EnableVth && (!o.EnableSizing || rng.Intn(2) == 0):
-			old := d.Vth[id]
 			next := tech.LowVth
-			if old == tech.LowVth {
+			if d.Vth[id] == tech.LowVth {
 				next = tech.HighVth
 			}
-			mustNoErr(d.SetVth(id, next))
-			undo = func() { mustNoErr(d.SetVth(id, old)) }
-		default:
-			si := d.Lib.SizeIndex(d.Size[id])
-			var ni int
-			if si == 0 {
-				ni = 1
-			} else if si == len(d.Lib.Sizes)-1 {
-				ni = si - 1
-			} else if rng.Intn(2) == 0 {
-				ni = si - 1
-			} else {
-				ni = si + 1
+			swap, err := engine.NewVthSwap(d, id, next)
+			if err != nil {
+				return nil, err
 			}
-			old := d.Lib.Sizes[si]
-			mustNoErr(d.SetSize(id, d.Lib.Sizes[ni]))
-			undo = func() { mustNoErr(d.SetSize(id, old)) }
+			mv = swap
+		default:
+			si := d.SizeIndex(id)
+			up := true
+			if si == 0 {
+				up = true
+			} else if si == len(d.Lib.Sizes)-1 {
+				up = false
+			} else if rng.Intn(2) == 0 {
+				up = false
+			}
+			var ok bool
+			var rz engine.Resize
+			if up {
+				rz, ok = engine.NewUpsize(d, id)
+			} else {
+				rz, ok = engine.NewDownsize(d, id)
+			}
+			if !ok {
+				continue // single-size ladder: no size move exists
+			}
+			mv = rz
 		}
-		acc.Update(id)
+		if err := e.Apply(mv); err != nil {
+			return nil, err
+		}
 
 		cand, candYield, candQ, err := evalObjective()
 		if err != nil {
@@ -127,8 +140,9 @@ func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 		}
 		accept := cand <= cur || rng.Float64() < math.Exp((cur-cand)/temp)
 		if !accept {
-			undo()
-			acc.Update(id)
+			if err := e.Revert(mv); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		cur = cand

@@ -1,11 +1,11 @@
 package opt
 
 import (
-	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -16,29 +16,35 @@ import (
 // mutates d; callers wanting only the number should pass a clone.
 // The experiments use it to normalize delay targets (Tmax = m·Dmin).
 func MinimumDelay(d *core.Design) (float64, error) {
-	res, err := sizeToTarget(d, 0, 0, 0, 0)
+	e, err := engine.New(d, engine.Config{TmaxPs: 1})
+	if err != nil {
+		return 0, err
+	}
+	res, err := sizeToTarget(e, 0, 0)
 	if err != nil {
 		return 0, err
 	}
 	return res.NominalDelayPs, nil
 }
 
-// sizeToTarget runs the phase-A greedy sizing loop at the process
-// point (dLnm, dVthV): while the max delay exceeds target, pick the
-// critical-path gate whose one-step upsize most reduces a local delay
-// estimate (own speedup minus the slowdown it inflicts on its
-// drivers), apply it, and verify with full STA — reverting and
+// sizeToTarget runs the phase-A greedy sizing loop at the engine's
+// corner: while the max delay exceeds target, pick the critical-path
+// gate whose one-step upsize most reduces a local delay estimate (own
+// speedup minus the slowdown it inflicts on its drivers), apply it,
+// and verify with the engine's memoized corner STA — reverting and
 // blacklisting the gate when the estimate was wrong. target = 0 sizes
 // for minimum delay. maxMoves 0 means 10×n.
-func sizeToTarget(d *core.Design, target, dLnm, dVthV float64, maxMoves int) (*Result, error) {
+func sizeToTarget(e *engine.Engine, target float64, maxMoves int) (*Result, error) {
 	res := &Result{}
+	d := e.Design()
 	c := d.Circuit
 	if maxMoves == 0 {
 		maxMoves = 10 * c.NumGates()
 	}
+	dLc, dVc := e.CornerOffsets()
 	blacklist := make(map[int]bool)
 	analyze := func() (*sta.Result, error) {
-		return analyzeAtPoint(d, math.Max(target, 1), dLnm, dVthV)
+		return e.Corner(math.Max(target, 1))
 	}
 	r, err := analyze()
 	if err != nil {
@@ -61,11 +67,11 @@ func sizeToTarget(d *core.Design, target, dLnm, dVthV float64, maxMoves int) (*R
 			if g.Type == logic.Input || blacklist[id] {
 				continue
 			}
-			si := d.Lib.SizeIndex(d.Size[id])
+			si := d.SizeIndex(id)
 			if si+1 >= len(d.Lib.Sizes) {
 				continue
 			}
-			est := upsizeEstimate(d, id, d.Lib.Sizes[si+1], dLnm, dVthV)
+			est := upsizeEstimate(d, id, d.Lib.Sizes[si+1], dLc, dVc)
 			if est < bestEst {
 				bestEst = est
 				bestID = id
@@ -75,9 +81,12 @@ func sizeToTarget(d *core.Design, target, dLnm, dVthV float64, maxMoves int) (*R
 			res.Feasible = target > 0 && r.MaxDelay <= target
 			break
 		}
-		oldSize := d.Size[bestID]
-		si := d.Lib.SizeIndex(oldSize)
-		if err := d.SetSize(bestID, d.Lib.Sizes[si+1]); err != nil {
+		mv, ok := engine.NewUpsize(d, bestID)
+		if !ok {
+			blacklist[bestID] = true
+			continue
+		}
+		if err := e.Apply(mv); err != nil {
 			return nil, err
 		}
 		r2, err := analyze()
@@ -88,7 +97,7 @@ func sizeToTarget(d *core.Design, target, dLnm, dVthV float64, maxMoves int) (*R
 			// The local estimate lied (off-path loading dominated);
 			// undo and stop considering this gate until something
 			// else changes the neighborhood.
-			if err := d.SetSize(bestID, oldSize); err != nil {
+			if err := e.Revert(mv); err != nil {
 				return nil, err
 			}
 			blacklist[bestID] = true
@@ -105,22 +114,6 @@ func sizeToTarget(d *core.Design, target, dLnm, dVthV float64, maxMoves int) (*R
 	res.NominalDelayPs = r.MaxDelay
 	res.NominalLeakNW = d.TotalLeak()
 	return res, nil
-}
-
-func analyzeAtPoint(d *core.Design, tmax, dLnm, dVthV float64) (*sta.Result, error) {
-	n := d.Circuit.NumNodes()
-	delays := make([]float64, n)
-	for _, g := range d.Circuit.Gates() {
-		if g.Type == logic.Input {
-			continue
-		}
-		if dLnm == 0 && dVthV == 0 {
-			delays[g.ID] = d.GateDelay(g.ID)
-		} else {
-			delays[g.ID] = d.GateDelayWith(g.ID, dLnm, dVthV)
-		}
-	}
-	return sta.AnalyzeDelays(d.Circuit, delays, tmax, d.Lib.P.DffSetupPs)
 }
 
 // cellDelayAt evaluates a cell's delay at the given process point.
@@ -184,7 +177,10 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	dLc, dVc := sta.CornerOffsets(d, o.CornerSigma)
+	e, err := engine.New(d, engineConfig(o))
+	if err != nil {
+		return nil, err
+	}
 
 	var best *core.Design
 	bestLeak := math.Inf(1)
@@ -197,15 +193,14 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 	for _, m := range margins {
 		res := &Result{}
 		if o.EnableSizing {
-			var err error
-			res, err = sizeToTarget(d, o.TmaxPs*m, dLc, dVc, o.MaxMoves)
+			res, err = sizeToTarget(e, o.TmaxPs*m, o.MaxMoves)
 			if err != nil {
 				return nil, err
 			}
 		}
 		// Feasibility at the real constraint, regardless of whether the
 		// tightened sweep target was reachable.
-		r, err := analyzeAtPoint(d, o.TmaxPs, dLc, dVc)
+		r, err := e.Corner(o.TmaxPs)
 		if err != nil {
 			return nil, err
 		}
@@ -214,7 +209,7 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 		if r.MaxDelay > o.TmaxPs+slackEps {
 			break // even the real constraint is out of reach; deeper targets won't help
 		}
-		if err := detPhaseB(d, o, dLc, dVc, total); err != nil {
+		if err := detPhaseB(e, o, total); err != nil {
 			return nil, err
 		}
 		if leak := d.TotalLeak(); leak < bestLeak {
@@ -223,7 +218,7 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 		}
 	}
 	if best == nil {
-		corner, err := analyzeAtPoint(d, o.TmaxPs, dLc, dVc)
+		corner, err := e.Corner(o.TmaxPs)
 		if err != nil {
 			return nil, err
 		}
@@ -245,36 +240,41 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 }
 
 // detPhaseB drains all corner-feasible leakage-recovery moves.
-func detPhaseB(d *core.Design, o Options, dLc, dVc float64, res *Result) error {
+func detPhaseB(e *engine.Engine, o Options, res *Result) error {
+	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
 		maxMoves = 10 * d.Circuit.NumGates()
 	}
 	blocked := make(map[moveKey]bool)
 	for res.Moves < maxMoves {
-		r, err := analyzeAtPoint(d, o.TmaxPs, dLc, dVc)
+		r, err := e.Corner(o.TmaxPs)
 		if err != nil {
 			return err
 		}
-		id, kind, ok := bestNominalRecoveryMove(d, o, r.Slack, dLc, dVc, blocked)
+		mv, ok := bestCornerRecoveryMove(e, o, r.Slack, blocked)
 		if !ok {
 			break
 		}
-		applyRecovery(d, id, kind)
+		if err := e.Apply(mv); err != nil {
+			return err
+		}
 		// The feasibility condition is exact for these move types (see
 		// the package comment), so a violation here would be a bug; the
 		// check stays as a cheap invariant guard.
-		r2, err := analyzeAtPoint(d, o.TmaxPs, dLc, dVc)
+		r2, err := e.Corner(o.TmaxPs)
 		if err != nil {
 			return err
 		}
 		if r2.MaxDelay > o.TmaxPs+slackEps {
-			revertRecovery(d, id, kind)
-			blocked[moveKey{id, kind}] = true
+			if err := e.Revert(mv); err != nil {
+				return err
+			}
+			blocked[keyOf(mv)] = true
 			continue
 		}
 		res.Moves++
-		if kind == moveSwapHVT {
+		if mv.Kind() == engine.KindVthSwap {
 			res.VthSwaps++
 		} else {
 			res.SizeDowns++
@@ -283,12 +283,14 @@ func detPhaseB(d *core.Design, o Options, dLc, dVc float64, res *Result) error {
 	return nil
 }
 
-// bestNominalRecoveryMove scans all gates for the highest
+// bestCornerRecoveryMove scans all gates for the highest
 // leakage-saved/slack-consumed phase-B move whose own-delay increase
 // (at the corner) fits in the gate's corner slack.
-func bestNominalRecoveryMove(d *core.Design, o Options, slack []float64, dLc, dVc float64, blocked map[moveKey]bool) (int, moveKind, bool) {
+func bestCornerRecoveryMove(e *engine.Engine, o Options, slack []float64, blocked map[moveKey]bool) (engine.Move, bool) {
+	d := e.Design()
+	dLc, dVc := e.CornerOffsets()
 	bestScore := 0.0
-	bestID, bestKind := -1, moveSwapHVT
+	var best engine.Move
 	for _, g := range d.Circuit.Gates() {
 		if g.Type == logic.Input {
 			continue
@@ -297,10 +299,10 @@ func bestNominalRecoveryMove(d *core.Design, o Options, slack []float64, dLc, dV
 		load := d.Load(id)
 		dNow := cellDelayAt(d, g.Type, d.Vth[id], d.Size[id], load, dLc, dVc)
 		lNow := d.Lib.Leak(g.Type, d.Vth[id], d.Size[id])
-		consider := func(kind moveKind, dNew, lNew float64) {
+		consider := func(mv engine.Move, dNew, lNew float64) {
 			dd := dNew - dNow
 			dl := lNow - lNew
-			if dl <= 0 || blocked[moveKey{id, kind}] {
+			if dl <= 0 || blocked[keyOf(mv)] {
 				return
 			}
 			if dd > slack[id]-slackEps {
@@ -309,53 +311,24 @@ func bestNominalRecoveryMove(d *core.Design, o Options, slack []float64, dLc, dV
 			score := dl / math.Max(dd, 1e-6)
 			if score > bestScore {
 				bestScore = score
-				bestID = id
-				bestKind = kind
+				best = mv
 			}
 		}
 		if o.EnableVth && d.Vth[id] == tech.LowVth {
-			consider(moveSwapHVT,
-				cellDelayAt(d, g.Type, tech.HighVth, d.Size[id], load, dLc, dVc),
-				d.Lib.Leak(g.Type, tech.HighVth, d.Size[id]))
+			if mv, err := engine.NewVthSwap(d, id, tech.HighVth); err == nil {
+				consider(mv,
+					cellDelayAt(d, g.Type, tech.HighVth, d.Size[id], load, dLc, dVc),
+					d.Lib.Leak(g.Type, tech.HighVth, d.Size[id]))
+			}
 		}
 		if o.EnableSizing {
-			if si := d.Lib.SizeIndex(d.Size[id]); si > 0 {
-				s := d.Lib.Sizes[si-1]
-				consider(moveSizeDown,
+			if mv, ok := engine.NewDownsize(d, id); ok {
+				s := d.Lib.Sizes[mv.ToIdx]
+				consider(mv,
 					cellDelayAt(d, g.Type, d.Vth[id], s, load, dLc, dVc),
 					d.Lib.Leak(g.Type, d.Vth[id], s))
 			}
 		}
 	}
-	return bestID, bestKind, bestID >= 0
-}
-
-// applyRecovery performs a phase-B move.
-func applyRecovery(d *core.Design, id int, kind moveKind) {
-	switch kind {
-	case moveSwapHVT:
-		mustNoErr(d.SetVth(id, tech.HighVth))
-	case moveSizeDown:
-		si := d.Lib.SizeIndex(d.Size[id])
-		mustNoErr(d.SetSize(id, d.Lib.Sizes[si-1]))
-	}
-}
-
-// revertRecovery undoes a phase-B move.
-func revertRecovery(d *core.Design, id int, kind moveKind) {
-	switch kind {
-	case moveSwapHVT:
-		mustNoErr(d.SetVth(id, tech.LowVth))
-	case moveSizeDown:
-		si := d.Lib.SizeIndex(d.Size[id])
-		mustNoErr(d.SetSize(id, d.Lib.Sizes[si+1]))
-	}
-}
-
-// mustNoErr converts impossible-by-construction setter errors into
-// panics so the optimizer's control flow stays readable.
-func mustNoErr(err error) {
-	if err != nil {
-		panic(fmt.Sprintf("opt: internal move error: %v", err))
-	}
+	return best, best != nil
 }

@@ -5,9 +5,8 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/leakage"
+	"repro/internal/engine"
 	"repro/internal/logic"
-	"repro/internal/ssta"
 	"repro/internal/stats"
 	"repro/internal/tech"
 )
@@ -33,7 +32,8 @@ type DualResult struct {
 // speedup move (HVT→LVT swap or one-step upsize on the statistically
 // critical path) with the best quantile-delay reduction per leakage
 // spent, while the budget — on the o.LeakPercentile percentile of
-// total leakage — holds.
+// total leakage — holds. Each accepted move re-times only the moved
+// gate's fanout cone through the engine.
 func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (*DualResult, error) {
 	start := time.Now()
 	if err := o.Validate(); err != nil {
@@ -42,21 +42,29 @@ func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (
 	res := &DualResult{BudgetNW: budgetNW, YieldTargetQ: o.YieldTarget}
 	kappa := stats.NormalQuantile(o.YieldTarget)
 
-	// Least-leaky start.
+	// Least-leaky start (before the engine builds its caches).
 	for _, g := range d.Circuit.Gates() {
 		if g.Type == logic.Input {
 			continue
 		}
 		if o.EnableVth {
-			mustNoErr(d.SetVth(g.ID, tech.HighVth))
+			if err := d.SetVth(g.ID, tech.HighVth); err != nil {
+				return nil, err
+			}
 		}
-		mustNoErr(d.SetSize(g.ID, d.Lib.Sizes[0]))
+		if err := d.SetSizeIndex(g.ID, 0); err != nil {
+			return nil, err
+		}
 	}
-	acc, err := leakage.NewAccumulator(d)
+	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
 		return nil, err
 	}
-	if acc.Quantile(o.LeakPercentile) > budgetNW {
+	floorQ, err := e.LeakQuantile(o.LeakPercentile)
+	if err != nil {
+		return nil, err
+	}
+	if floorQ > budgetNW {
 		res.Runtime = time.Since(start)
 		return res, nil // even the floor exceeds the budget
 	}
@@ -66,18 +74,18 @@ func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (
 	if maxMoves == 0 {
 		maxMoves = 10 * d.Circuit.NumGates()
 	}
-	sr, err := ssta.Analyze(d)
-	if err != nil {
-		return nil, err
-	}
 	blacklist := make(map[moveKey]bool)
 	for res.Moves < maxMoves {
+		sr, err := e.Timing()
+		if err != nil {
+			return nil, err
+		}
 		path := statCriticalPath(d, sr, kappa)
 		q0 := sr.Quantile(o.YieldTarget)
 
 		// Best speedup candidate on the statistically critical path,
 		// scored by local delay gain per leakage spent.
-		bestID, bestKind := -1, moveSwapLVT
+		var best engine.Move
 		bestScore := 0.0
 		for _, id := range path {
 			g := d.Circuit.Gate(id)
@@ -86,8 +94,8 @@ func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (
 			}
 			dNow := d.GateDelay(id)
 			lNow := d.Lib.Leak(g.Type, d.Vth[id], d.Size[id])
-			consider := func(kind moveKind, dNew, lNew float64) {
-				if blacklist[moveKey{id, kind}] {
+			consider := func(mv engine.Move, dNew, lNew float64) {
+				if blacklist[keyOf(mv)] {
 					return
 				}
 				gain := dNow - dNew
@@ -97,61 +105,63 @@ func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (
 				}
 				if score := gain / cost; score > bestScore {
 					bestScore = score
-					bestID = id
-					bestKind = kind
+					best = mv
 				}
 			}
 			if o.EnableVth && d.Vth[id] == tech.HighVth {
-				consider(moveSwapLVT,
-					d.Lib.Delay(g.Type, tech.LowVth, d.Size[id], d.Load(id)),
-					d.Lib.Leak(g.Type, tech.LowVth, d.Size[id]))
+				if mv, err := engine.NewVthSwap(d, id, tech.LowVth); err == nil {
+					consider(mv,
+						d.Lib.Delay(g.Type, tech.LowVth, d.Size[id], d.Load(id)),
+						d.Lib.Leak(g.Type, tech.LowVth, d.Size[id]))
+				}
 			}
 			if o.EnableSizing {
-				if si := d.Lib.SizeIndex(d.Size[id]); si+1 < len(d.Lib.Sizes) {
-					s := d.Lib.Sizes[si+1]
-					consider(moveSizeUp,
+				if mv, ok := engine.NewUpsize(d, id); ok {
+					s := d.Lib.Sizes[mv.ToIdx]
+					consider(mv,
 						d.Lib.Delay(g.Type, d.Vth[id], s, d.Load(id)),
 						d.Lib.Leak(g.Type, d.Vth[id], s))
 				}
 			}
 		}
-		if bestID < 0 {
+		if best == nil {
 			break
 		}
-		// Apply the speedup move.
-		var undo func()
-		if bestKind == moveSwapLVT {
-			mustNoErr(d.SetVth(bestID, tech.LowVth))
-			undo = func() { mustNoErr(d.SetVth(bestID, tech.HighVth)) }
-		} else {
-			si := d.Lib.SizeIndex(d.Size[bestID])
-			old := d.Lib.Sizes[si]
-			mustNoErr(d.SetSize(bestID, d.Lib.Sizes[si+1]))
-			undo = func() { mustNoErr(d.SetSize(bestID, old)) }
+		if err := e.Apply(best); err != nil {
+			return nil, err
 		}
-		acc.Update(bestID)
-		sr2, err := ssta.Analyze(d)
+		lq, err := e.LeakQuantile(o.LeakPercentile)
+		if err != nil {
+			return nil, err
+		}
+		q1, err := e.DelayQuantile(o.YieldTarget)
 		if err != nil {
 			return nil, err
 		}
 		// Keep only moves that respect the budget and actually help
 		// the delay quantile.
-		if acc.Quantile(o.LeakPercentile) > budgetNW || sr2.Quantile(o.YieldTarget) >= q0-slackEps {
-			undo()
-			acc.Update(bestID)
-			blacklist[moveKey{bestID, bestKind}] = true
+		if lq > budgetNW || q1 >= q0-slackEps {
+			if err := e.Revert(best); err != nil {
+				return nil, err
+			}
+			blacklist[keyOf(best)] = true
 			continue
 		}
-		sr = sr2
 		res.Moves++
-		if bestKind == moveSwapLVT {
+		if best.Kind() == engine.KindVthSwap {
 			res.SwapsToLVT++
 		} else {
 			res.SizeUps++
 		}
 	}
-	res.DelayQPs = sr.Quantile(o.YieldTarget)
-	res.LeakPctNW = acc.Quantile(o.LeakPercentile)
+	res.DelayQPs, err = e.DelayQuantile(o.YieldTarget)
+	if err != nil {
+		return nil, err
+	}
+	res.LeakPctNW, err = e.LeakQuantile(o.LeakPercentile)
+	if err != nil {
+		return nil, err
+	}
 	res.Runtime = time.Since(start)
 	return res, nil
 }

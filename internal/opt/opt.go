@@ -16,11 +16,19 @@
 // is an exact feasibility condition under nominal STA, and its
 // mean+κσ analogue is the ranking heuristic under SSTA (with a full
 // SSTA yield check and rollback as the safety net).
+//
+// All four optimizers evaluate moves through the shared transactional
+// engine (internal/engine): moves are engine.Move values, state is
+// applied/reverted via the engine so cached incremental timing,
+// factored leakage, and corner STA stay consistent, and candidate
+// scoring fans out over engine.ScoreAllLocal.
 package opt
 
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Options configures an optimization run.
@@ -97,21 +105,27 @@ type Result struct {
 	Runtime time.Duration
 }
 
-// moveKind labels move types for blacklisting. The first two are the
-// leakage-recovery (phase-B) moves; the last two are their inverses,
-// used by the dual (delay-under-leak-budget) optimizer.
-type moveKind uint8
-
-const (
-	moveSwapHVT moveKind = iota
-	moveSizeDown
-	moveSwapLVT
-	moveSizeUp
-)
-
+// moveKey identifies a (gate, move family) pair for blacklisting.
+// Within one optimizer each family runs in a single direction (e.g.
+// phase B only swaps LVT→HVT, the dual only HVT→LVT), so the engine
+// kind disambiguates fully.
 type moveKey struct {
 	id   int
-	kind moveKind
+	kind engine.Kind
+}
+
+func keyOf(m engine.Move) moveKey { return moveKey{m.Gate(), m.Kind()} }
+
+// engineConfig maps optimizer options onto the engine's evaluation
+// parameters (refresh cadence and worker count stay at engine
+// defaults).
+func engineConfig(o Options) engine.Config {
+	return engine.Config{
+		TmaxPs:         o.TmaxPs,
+		YieldTarget:    o.YieldTarget,
+		LeakPercentile: o.LeakPercentile,
+		CornerSigma:    o.CornerSigma,
+	}
 }
 
 const slackEps = 1e-9

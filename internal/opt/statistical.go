@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/leakage"
 	"repro/internal/logic"
 	"repro/internal/ssta"
@@ -28,15 +29,20 @@ type StatResult struct {
 // reaches the target η. Phase B greedily applies the leakage-recovery
 // move with the best reduction of the objective leakage percentile per
 // unit of statistical timing metric consumed, batch-accepting against
-// per-gate statistical slacks and verifying each batch with a full
-// SSTA (rolling back just enough moves to restore feasibility).
+// per-gate statistical slacks inside an engine transaction and
+// verifying each batch with the incrementally maintained SSTA (peeling
+// back just enough moves to restore feasibility). One engine carries
+// the timing/leakage caches across the whole margin sweep.
 func Statistical(d *core.Design, o Options) (*StatResult, error) {
 	start := time.Now()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	res := &StatResult{}
-	kappa := stats.NormalQuantile(o.YieldTarget)
+	e, err := engine.New(d, engineConfig(o))
+	if err != nil {
+		return nil, err
+	}
 
 	var best *core.Design
 	bestQ := math.Inf(1)
@@ -46,17 +52,17 @@ func Statistical(d *core.Design, o Options) (*StatResult, error) {
 		margins = margins[:1]
 	}
 	for _, m := range margins {
-		if err := statPhaseA(d, o, kappa, o.TmaxPs*m, res); err != nil {
+		if err := statPhaseA(e, o, o.TmaxPs*m, res); err != nil {
 			return nil, err
 		}
-		sr, err := ssta.Analyze(d)
+		q, err := e.DelayQuantile(o.YieldTarget)
 		if err != nil {
 			return nil, err
 		}
-		if sr.Quantile(o.YieldTarget) > o.TmaxPs {
+		if q > o.TmaxPs {
 			break // the real yield constraint is out of reach
 		}
-		if err := statPhaseB(d, o, res); err != nil {
+		if err := statPhaseB(e, o, res); err != nil {
 			return nil, err
 		}
 		an, err := leakage.Exact(d)
@@ -76,24 +82,30 @@ func Statistical(d *core.Design, o Options) (*StatResult, error) {
 
 // statPhaseA upsizes statistically critical gates until the
 // eta-quantile of circuit delay meets target (or no move helps).
-func statPhaseA(d *core.Design, o Options, kappa, target float64, res *StatResult) error {
+func statPhaseA(e *engine.Engine, o Options, target float64, res *StatResult) error {
 	if !o.EnableSizing {
 		return nil
 	}
+	d := e.Design()
+	kappa := stats.NormalQuantile(o.YieldTarget)
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
 		maxMoves = 10 * d.Circuit.NumGates()
 	}
-	inc, err := ssta.NewIncremental(d)
-	if err != nil {
-		return err
-	}
 	blacklist := make(map[int]bool)
-	for iter := 0; inc.Result().Quantile(o.YieldTarget) > target; iter++ {
-		if res.Moves >= maxMoves {
+	for iter := 0; ; iter++ {
+		q0, err := e.DelayQuantile(o.YieldTarget)
+		if err != nil {
+			return err
+		}
+		if q0 <= target || res.Moves >= maxMoves {
 			break
 		}
-		path := statCriticalPath(d, inc.Result(), kappa)
+		sr, err := e.Timing()
+		if err != nil {
+			return err
+		}
+		path := statCriticalPath(d, sr, kappa)
 		bestID := -1
 		bestEst := -slackEps
 		for _, id := range path {
@@ -101,7 +113,7 @@ func statPhaseA(d *core.Design, o Options, kappa, target float64, res *StatResul
 			if g.Type == logic.Input || blacklist[id] {
 				continue
 			}
-			si := d.Lib.SizeIndex(d.Size[id])
+			si := d.SizeIndex(id)
 			if si+1 >= len(d.Lib.Sizes) {
 				continue
 			}
@@ -113,14 +125,22 @@ func statPhaseA(d *core.Design, o Options, kappa, target float64, res *StatResul
 		if bestID < 0 {
 			break
 		}
-		q0 := inc.Result().Quantile(o.YieldTarget)
-		oldSize := d.Size[bestID]
-		si := d.Lib.SizeIndex(oldSize)
-		mustNoErr(d.SetSize(bestID, d.Lib.Sizes[si+1]))
-		inc.Update(bestID)
-		if inc.Result().Quantile(o.YieldTarget) >= q0-slackEps {
-			mustNoErr(d.SetSize(bestID, oldSize))
-			inc.Update(bestID)
+		mv, ok := engine.NewUpsize(d, bestID)
+		if !ok {
+			blacklist[bestID] = true
+			continue
+		}
+		if err := e.Apply(mv); err != nil {
+			return err
+		}
+		q1, err := e.DelayQuantile(o.YieldTarget)
+		if err != nil {
+			return err
+		}
+		if q1 >= q0-slackEps {
+			if err := e.Revert(mv); err != nil {
+				return err
+			}
 			blacklist[bestID] = true
 			continue
 		}
@@ -134,19 +154,13 @@ func statPhaseA(d *core.Design, o Options, kappa, target float64, res *StatResul
 }
 
 // statPhaseB drains yield-feasible leakage-recovery moves, batch-
-// accepting against per-gate statistical slacks with SSTA rollback.
-// Timing is maintained incrementally: only the fanout cones of moved
-// gates are re-timed, which is what keeps large-circuit optimization
-// in seconds.
-func statPhaseB(d *core.Design, o Options, res *StatResult) error {
-	acc, err := leakage.NewAccumulator(d)
-	if err != nil {
-		return err
-	}
-	inc, err := ssta.NewIncremental(d)
-	if err != nil {
-		return err
-	}
+// accepting against per-gate statistical slacks inside an engine
+// transaction with incremental-SSTA rollback. Timing is maintained
+// incrementally — only the fanout cones of moved gates are re-timed —
+// and candidates are scored in parallel via the engine's worker pool,
+// which is what keeps large-circuit optimization in seconds.
+func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
+	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
 		maxMoves = 10 * d.Circuit.NumGates()
@@ -161,12 +175,14 @@ func statPhaseB(d *core.Design, o Options, res *StatResult) error {
 	const safety = 0.8 // fraction of a gate's statistical slack a batch may consume
 
 	for res.Moves < maxMoves {
-		sr := inc.Result()
-		slack, err := sr.StatisticalSlack(d, o.TmaxPs, o.YieldTarget)
+		slack, err := e.StatisticalSlack()
 		if err != nil {
 			return err
 		}
-		cands := statCandidates(d, o, acc, slack, safety, blocked)
+		cands, err := statCandidates(e, o, slack, safety, blocked)
+		if err != nil {
+			return err
+		}
 		if len(cands) == 0 {
 			break
 		}
@@ -174,56 +190,60 @@ func statPhaseB(d *core.Design, o Options, res *StatResult) error {
 
 		// Accept greedily against a consumable per-gate slack budget.
 		budget := make(map[int]float64, batchCap)
-		var applied []statCand
+		txn := e.Begin()
 		for _, cand := range cands {
-			if len(applied) >= batchCap || res.Moves+len(applied) >= maxMoves {
+			if txn.Len() >= batchCap || res.Moves+txn.Len() >= maxMoves {
 				break
 			}
-			b, seen := budget[cand.id]
+			id := cand.mv.Gate()
+			b, seen := budget[id]
 			if !seen {
-				b = safety * slack[cand.id]
+				b = safety * slack[id]
 			}
 			if cand.dMetric > b-slackEps {
 				continue
 			}
-			budget[cand.id] = b - cand.dMetric
-			applyRecovery(d, cand.id, cand.kind)
-			acc.Update(cand.id)
-			inc.Update(cand.id)
-			applied = append(applied, cand)
+			budget[id] = b - cand.dMetric
+			if err := txn.Apply(cand.mv); err != nil {
+				return err
+			}
 		}
-		if len(applied) == 0 {
+		if txn.Len() == 0 {
+			txn.Commit()
 			break
 		}
-		// Verify the batch; roll back lowest-value moves until the
+		// Verify the batch; peel back lowest-value moves until the
 		// yield constraint holds again.
-		for {
-			if inc.Result().Yield(o.TmaxPs) >= o.YieldTarget {
+		for txn.Len() > 0 {
+			y, err := e.Yield()
+			if err != nil {
+				return err
+			}
+			if y >= o.YieldTarget {
 				break
 			}
-			last := applied[len(applied)-1]
-			applied = applied[:len(applied)-1]
-			revertRecovery(d, last.id, last.kind)
-			acc.Update(last.id)
-			inc.Update(last.id)
-			blocked[moveKey{last.id, last.kind}] = true
-			if len(applied) == 0 {
-				break
+			mv, err := txn.PopRevert()
+			if err != nil {
+				return err
 			}
+			blocked[keyOf(mv)] = true
 		}
-		if len(applied) == 0 {
+		kept := txn.Moves()
+		if len(kept) == 0 {
 			// The whole batch bounced: the per-gate slack heuristic is
 			// too optimistic here; stop rather than thrash.
+			txn.Commit()
 			break
 		}
-		for _, cand := range applied {
+		for _, mv := range kept {
 			res.Moves++
-			if cand.kind == moveSwapHVT {
+			if mv.Kind() == engine.KindVthSwap {
 				res.VthSwaps++
 			} else {
 				res.SizeDowns++
 			}
 		}
+		txn.Commit()
 	}
 
 	// Polish: the batch heuristic under-uses the last sliver of slack
@@ -232,30 +252,36 @@ func statPhaseB(d *core.Design, o Options, res *StatResult) error {
 	// verify the yield (incrementally re-timed), keep or
 	// revert-and-block.
 	for res.Moves < maxMoves {
-		sr := inc.Result()
-		slack, err := sr.StatisticalSlack(d, o.TmaxPs, o.YieldTarget)
+		slack, err := e.StatisticalSlack()
 		if err != nil {
 			return err
 		}
-		cands := statCandidates(d, o, acc, slack, 1.0, blocked)
+		cands, err := statCandidates(e, o, slack, 1.0, blocked)
+		if err != nil {
+			return err
+		}
 		if len(cands) == 0 {
 			break
 		}
 		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 		accepted := false
 		for _, cand := range cands {
-			applyRecovery(d, cand.id, cand.kind)
-			acc.Update(cand.id)
-			inc.Update(cand.id)
-			if inc.Result().Yield(o.TmaxPs) < o.YieldTarget {
-				revertRecovery(d, cand.id, cand.kind)
-				acc.Update(cand.id)
-				inc.Update(cand.id)
-				blocked[moveKey{cand.id, cand.kind}] = true
+			if err := e.Apply(cand.mv); err != nil {
+				return err
+			}
+			y, err := e.Yield()
+			if err != nil {
+				return err
+			}
+			if y < o.YieldTarget {
+				if err := e.Revert(cand.mv); err != nil {
+					return err
+				}
+				blocked[keyOf(cand.mv)] = true
 				continue
 			}
 			res.Moves++
-			if cand.kind == moveSwapHVT {
+			if cand.mv.Kind() == engine.KindVthSwap {
 				res.VthSwaps++
 			} else {
 				res.SizeDowns++
@@ -272,23 +298,24 @@ func statPhaseB(d *core.Design, o Options, res *StatResult) error {
 
 // statCand is one scored phase-B candidate.
 type statCand struct {
-	id      int
-	kind    moveKind
-	dMetric float64 // increase of the gate's mean+κσ delay metric
+	mv      engine.Move
+	dMetric float64 // increase of the gate's mean delay metric
 	score   float64 // Δ(objective leakage percentile) per dMetric
 }
 
 // statCandidates scores every feasible phase-B move by its reduction
-// of the objective leakage percentile (via a tentative accumulator
-// update) per unit of mean-delay slack consumed. Mean delay is the
-// right currency against StatisticalSlack's sigma-adjusted budget;
-// the move's (small) effect on the circuit sigma is caught by the
-// full-SSTA batch verification.
-func statCandidates(d *core.Design, o Options, acc *leakage.Accumulator,
-	slack []float64, safety float64, blocked map[moveKey]bool) []statCand {
-
-	q0 := acc.Quantile(o.LeakPercentile)
-	var out []statCand
+// of the objective leakage percentile per unit of mean-delay slack
+// consumed. The per-move delay effect is the local cell-delay change
+// (a phase-B move never changes the gate's own load), so candidates
+// prefilter analytically and the leakage-percentile deltas evaluate in
+// parallel through the engine's worker pool. Mean delay is the right
+// currency against StatisticalSlack's sigma-adjusted budget; the
+// move's (small) effect on the circuit sigma is caught by the
+// incremental-SSTA batch verification.
+func statCandidates(e *engine.Engine, o Options, slack []float64, safety float64, blocked map[moveKey]bool) ([]statCand, error) {
+	d := e.Design()
+	var cands []statCand
+	var moves []engine.Move
 	for _, g := range d.Circuit.Gates() {
 		if g.Type == logic.Input {
 			continue
@@ -298,47 +325,49 @@ func statCandidates(d *core.Design, o Options, acc *leakage.Accumulator,
 			continue
 		}
 		m0 := d.GateDelay(id)
+		load := d.Load(id)
 
-		try := func(kind moveKind, apply, revert func()) {
-			if blocked[moveKey{id, kind}] {
+		consider := func(mv engine.Move, dNew float64) {
+			if blocked[keyOf(mv)] {
 				return
 			}
-			apply()
-			dMetric := d.GateDelay(id) - m0
+			dMetric := dNew - m0
 			if dMetric > safety*slack[id]-slackEps {
-				revert()
 				return
 			}
-			acc.Update(id)
-			dq := q0 - acc.Quantile(o.LeakPercentile)
-			revert()
-			acc.Update(id)
-			if dq <= 0 {
-				return
-			}
-			out = append(out, statCand{
-				id:      id,
-				kind:    kind,
-				dMetric: math.Max(dMetric, 0),
-				score:   dq / math.Max(dMetric, 1e-6),
-			})
+			moves = append(moves, mv)
+			cands = append(cands, statCand{mv: mv, dMetric: math.Max(dMetric, 0)})
 		}
 
 		if o.EnableVth && d.Vth[id] == tech.LowVth {
-			try(moveSwapHVT,
-				func() { mustNoErr(d.SetVth(id, tech.HighVth)) },
-				func() { mustNoErr(d.SetVth(id, tech.LowVth)) })
+			if mv, err := engine.NewVthSwap(d, id, tech.HighVth); err == nil {
+				consider(mv, d.Lib.Delay(g.Type, tech.HighVth, d.Size[id], load))
+			}
 		}
 		if o.EnableSizing {
-			if si := d.Lib.SizeIndex(d.Size[id]); si > 0 {
-				lo, hi := d.Lib.Sizes[si-1], d.Lib.Sizes[si]
-				try(moveSizeDown,
-					func() { mustNoErr(d.SetSize(id, lo)) },
-					func() { mustNoErr(d.SetSize(id, hi)) })
+			if mv, ok := engine.NewDownsize(d, id); ok {
+				consider(mv, d.Lib.Delay(g.Type, d.Vth[id], d.Lib.Sizes[mv.ToIdx], load))
 			}
 		}
 	}
-	return out
+	if len(moves) == 0 {
+		return nil, nil
+	}
+	scores, err := e.ScoreAllLocal(moves)
+	if err != nil {
+		return nil, err
+	}
+	out := cands[:0]
+	for i, sc := range scores {
+		dq := -sc.DLeakQNW // reduction of the objective percentile
+		if dq <= 0 {
+			continue
+		}
+		c := cands[i]
+		c.score = dq / math.Max(c.dMetric, 1e-6)
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // statCriticalPath walks back from the statistically worst primary

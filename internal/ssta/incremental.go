@@ -44,6 +44,24 @@ func NewIncremental(d *core.Design) (*Incremental, error) {
 // read-only; it is refreshed in place by Update.
 func (inc *Incremental) Result() *Result { return inc.res }
 
+// CloneFor returns an independent copy of the timing state bound to d,
+// which must be a clone of the original design in the same assignment
+// state (no re-analysis is performed). The topological order is shared
+// (it depends only on the circuit); the arrival forms are deep-copied
+// so the clone can Update without disturbing the original — this is
+// what lets parallel move scorers each carry their own timer.
+func (inc *Incremental) CloneFor(d *core.Design) *Incremental {
+	res := &Result{
+		Arrivals: make([]Canonical, len(inc.res.Arrivals)),
+		Delay:    inc.res.Delay.Clone(),
+		NumPC:    inc.res.NumPC,
+	}
+	for i := range inc.res.Arrivals {
+		res.Arrivals[i] = inc.res.Arrivals[i].Clone()
+	}
+	return &Incremental{d: d, order: inc.order, pos: inc.pos, res: res}
+}
+
 // posHeap is a min-heap of node IDs keyed by topological position.
 type posHeap struct {
 	ids []int
