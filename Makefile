@@ -1,14 +1,24 @@
-# Tier-1 checks plus the race pass over the concurrent paths
-# (engine.ScoreAll worker pool, montecarlo sample pool).
+# Tier-1 checks (vet/build/test), the statleaklint invariant suite,
+# and the race pass over every package (the engine.ScoreAll and
+# montecarlo worker pools are the concurrent hot spots, but -race runs
+# repo-wide so new goroutines are covered by default).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci lint vet statleaklint build test race bench
 
-ci: vet build test race
+ci: lint build test race
+
+# lint = go vet plus the repository's own analyzer suite. statleaklint
+# enforces the engine's determinism/transactionality invariants; see
+# DESIGN.md §"Static analysis" and internal/analysis/.
+lint: vet statleaklint
 
 vet:
 	$(GO) vet ./...
+
+statleaklint:
+	$(GO) run ./cmd/statleaklint ./...
 
 build:
 	$(GO) build ./...
@@ -17,7 +27,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/montecarlo
+	$(GO) test -race ./...
 
 # bench regenerates the evaluation (see bench_test.go / DESIGN.md §5).
 bench:

@@ -75,7 +75,10 @@ func main() {
 	o.YieldTarget = *yieldTgt
 	o.LeakPercentile = *pctile
 
-	st, _ := c.ComputeStats()
+	st, err := c.ComputeStats()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("circuit %s: %d gates, %d PIs, %d POs, depth %d\n",
 		c.Name, st.Gates, st.Inputs, st.Outputs, st.Depth)
 	fmt.Printf("Dmin = %.1f ps, Tmax = %.1f ps, yield target = %.2f, objective = q%g leakage\n\n",

@@ -1,0 +1,98 @@
+// Command statleaklint runs the repository's determinism/
+// transactionality analyzer suite (internal/analysis/statleaklint).
+//
+// Standalone over package patterns (exit 1 on findings):
+//
+//	go run ./cmd/statleaklint ./...
+//
+// Or as a vet tool, speaking the cmd/go vet config protocol:
+//
+//	go build -o statleaklint ./cmd/statleaklint
+//	go vet -vettool=$(pwd)/statleaklint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/statleaklint"
+)
+
+// printVersion answers `-V=full` in the form cmd/go's toolID parser
+// accepts: "<name> version devel buildID=<id>", so `go vet -vettool`
+// keys its action cache on this binary's content and re-runs the
+// suite when the analyzers change.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	name := strings.TrimSuffix(filepath.Base(exe), ".exe")
+	if out, err := exec.Command("go", "tool", "buildid", exe).Output(); err == nil {
+		if id := strings.TrimSpace(string(out)); id != "" {
+			fmt.Printf("%s version devel buildID=%s\n", name, id)
+			return
+		}
+	}
+	fmt.Printf("%s version statleaklint-1\n", name)
+}
+
+func main() {
+	var (
+		versionFlag = flag.String("V", "", "print version (vet protocol)")
+		flagsFlag   = flag.Bool("flags", false, "print flag definitions as JSON (vet protocol)")
+		listFlag    = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: statleaklint [packages]   # standalone, default ./...\n"+
+				"       statleaklint <file>.cfg   # go vet -vettool protocol\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion() // cmd/go keys its action cache on this line
+		return
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	case *listFlag:
+		for _, a := range statleaklint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		vetMode(args[0]) // exits
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statleaklint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, statleaklint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statleaklint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "statleaklint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/statleaklint"
+)
+
+// vetConfig is the JSON unit-of-work description cmd/go hands a
+// -vettool for each package, mirroring the fields of
+// golang.org/x/tools/go/analysis/unitchecker.Config that this tool
+// consumes. PackageFile maps canonical import paths to gc export-data
+// files, which plugs straight into the same importer the standalone
+// loader uses.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode runs the suite on one vet unit and exits: 0 when clean,
+// 1 with file:line:col diagnostics on stderr otherwise. The suite
+// defines no cross-package facts, so the .vetx output is an empty
+// placeholder, written unconditionally because cmd/go caches it.
+func vetMode(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statleaklint:", err)
+		os.Exit(2)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "statleaklint: parsing %s: %v\n", cfgPath, err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.NewImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	filenames := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		filenames[i] = f
+	}
+	lp, err := analysis.CheckFiles(fset, cfg.ImportPath, filenames, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "statleaklint:", err)
+		os.Exit(2)
+	}
+
+	var findings []analysis.Finding
+	if !cfg.VetxOnly {
+		findings, err = analysis.RunAnalyzers([]*analysis.LoadedPackage{lp}, statleaklint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statleaklint:", err)
+			os.Exit(2)
+		}
+	}
+	writeVetx(cfg.VetxOutput)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte{}, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "statleaklint:", err)
+		os.Exit(2)
+	}
+}

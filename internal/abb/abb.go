@@ -15,6 +15,7 @@ package abb
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/core"
@@ -115,9 +116,13 @@ type die struct {
 }
 
 // evalDie computes circuit delay and total leakage for a frozen die
-// under a uniform body-bias threshold shift.
+// under a uniform body-bias threshold shift. It fails on a non-finite
+// result: the exponential leakage and alpha-power delay models can
+// blow up at extreme bias excursions, and letting a NaN/Inf flow into
+// the bisection would silently corrupt the bias choice instead of
+// surfacing the broken operating point.
 func evalDie(d *core.Design, order []int, loads []float64, s *die, biasVth float64,
-	delays, scratch []float64) (delay, leak float64) {
+	delays, scratch []float64) (delay, leak float64, err error) {
 	lib := d.Lib
 	leak = 0
 	for _, id := range s.ids {
@@ -127,7 +132,10 @@ func evalDie(d *core.Design, order []int, loads []float64, s *die, biasVth float
 		leak += lib.LeakWith(g.Type, d.Vth[id], d.Size[id], s.dL[id], dv)
 	}
 	delay = sta.MaxDelayWithDelays(d.Circuit, order, delays, scratch, lib.P.DffSetupPs)
-	return delay, leak
+	if math.IsNaN(delay) || math.IsInf(delay, 0) || math.IsNaN(leak) || math.IsInf(leak, 0) {
+		return 0, 0, fmt.Errorf("abb: non-finite die evaluation (delay=%g ps, leak=%g nW) at bias ΔVth=%g V", delay, leak, biasVth)
+	}
+	return delay, leak, nil
 }
 
 // Run samples dies, picks each die's bias, and reports the aggregate.
@@ -174,17 +182,26 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 			s.dV[id] = vm.DeltaVth(rng.NormFloat64())
 		}
 		dr := &res.Dies[k]
-		dr.DelayNoBias, dr.LeakNoBias = evalDie(d, order, loads, s, 0, delays, scratch)
+		dr.DelayNoBias, dr.LeakNoBias, err = evalDie(d, order, loads, s, 0, delays, scratch)
+		if err != nil {
+			return nil, err
+		}
 
 		// Delay grows monotonically with Vbb (reverse bias raises Vth),
 		// so the most reverse feasible bias is found by bisection over
 		// [−MaxForward, +MaxReverse].
 		lo, hi := -cfg.MaxForwardV, cfg.MaxReverseV
-		dHi, _ := evalDie(d, order, loads, s, cfg.GammaBB*hi, delays, scratch)
+		dHi, _, err := evalDie(d, order, loads, s, cfg.GammaBB*hi, delays, scratch)
+		if err != nil {
+			return nil, err
+		}
 		if dHi <= tmax {
 			dr.BiasV = hi
 		} else {
-			dLo, lLo := evalDie(d, order, loads, s, cfg.GammaBB*lo, delays, scratch)
+			dLo, lLo, err := evalDie(d, order, loads, s, cfg.GammaBB*lo, delays, scratch)
+			if err != nil {
+				return nil, err
+			}
 			if dLo > tmax {
 				// Even max forward bias cannot close timing.
 				dr.BiasV = lo
@@ -194,7 +211,10 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 			}
 			for i := 0; i < cfg.Steps; i++ {
 				mid := (lo + hi) / 2
-				dm, _ := evalDie(d, order, loads, s, cfg.GammaBB*mid, delays, scratch)
+				dm, _, err := evalDie(d, order, loads, s, cfg.GammaBB*mid, delays, scratch)
+				if err != nil {
+					return nil, err
+				}
 				if dm <= tmax {
 					lo = mid
 				} else {
@@ -203,7 +223,10 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 			}
 			dr.BiasV = lo
 		}
-		dr.DelayBiased, dr.LeakBiased = evalDie(d, order, loads, s, cfg.GammaBB*dr.BiasV, delays, scratch)
+		dr.DelayBiased, dr.LeakBiased, err = evalDie(d, order, loads, s, cfg.GammaBB*dr.BiasV, delays, scratch)
+		if err != nil {
+			return nil, err
+		}
 		dr.Met = dr.DelayBiased <= tmax
 	}
 	return res, nil

@@ -1,0 +1,113 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// TestLoad type-checks a real module package through the export-data
+// importer and sanity-checks the populated type information.
+func TestLoad(t *testing.T) {
+	pkgs, err := analysis.Load(moduleRoot(t), "./internal/stats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	lp := pkgs[0]
+	if lp.Path != "repro/internal/stats" {
+		t.Errorf("path = %q", lp.Path)
+	}
+	if len(lp.Files) == 0 || lp.Pkg == nil || lp.Info == nil {
+		t.Fatalf("incomplete load: files=%d pkg=%v", len(lp.Files), lp.Pkg)
+	}
+	if lp.Pkg.Scope().Lookup("AlmostEqual") == nil {
+		t.Errorf("stats.AlmostEqual not in package scope")
+	}
+}
+
+// TestRunAnalyzersOrder checks findings come back sorted by position.
+func TestRunAnalyzersOrder(t *testing.T) {
+	pkgs, err := analysis.Load(moduleRoot(t), "./internal/stats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	reportAll := &analysis.Analyzer{
+		Name: "reportall",
+		Doc:  "reports every function declaration (test helper)",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if fd, ok := n.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(findings) < 5 {
+		t.Fatalf("got %d findings, want several", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1].Pos, findings[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("findings out of order: %v before %v", a, b)
+		}
+	}
+}
+
+// TestWithStack checks ancestor tracking and subtree pruning.
+func TestWithStack(t *testing.T) {
+	src := "package p\nfunc f() { g(h(1)) }\nfunc g(int) {}\nfunc h(int) int { return 0 }\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLit := false
+	analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "1" {
+			sawLit = true
+			// Expect ... CallExpr(g) CallExpr(h) above the literal.
+			calls := 0
+			for _, a := range stack {
+				if _, ok := a.(*ast.CallExpr); ok {
+					calls++
+				}
+			}
+			if calls != 2 {
+				t.Errorf("literal has %d enclosing calls, want 2", calls)
+			}
+			if _, ok := stack[0].(*ast.File); !ok {
+				t.Errorf("stack[0] = %T, want *ast.File", stack[0])
+			}
+		}
+		return true
+	})
+	if !sawLit {
+		t.Error("walk never reached the literal")
+	}
+}

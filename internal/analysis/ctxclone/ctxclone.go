@@ -1,0 +1,179 @@
+// Package ctxclone defines the statleaklint analyzer that polices the
+// engine's one concurrency contract: worker-pool goroutines never
+// touch shared mutable evaluation state directly — they work on
+// clones (Design.Clone, Accumulator.CloneFor, Incremental.CloneFor)
+// or on immutable context snapshotted before the fan-out.
+//
+// ScoreAll's determinism argument (chunked partitioning, every worker
+// scoring from the same baseline) and the Monte Carlo pool's
+// replayability both rest on this: a goroutine that reads d.Vth or
+// applies a move against the shared design races with its siblings,
+// and -race only catches the schedules a given run happens to
+// exercise. The analyzer flags any `go func` closure that captures a
+// variable of a shared-state type (core.Design, engine.Engine,
+// ssta.Incremental, leakage.Accumulator) unless the use is a call
+// into the clone path or a read of immutable context fields
+// (Design.Circuit/Lib/Var, Engine.cfg).
+package ctxclone
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxclone",
+	Doc: "forbid worker goroutines from capturing shared engine state " +
+		"except through the clone path or immutable context reads",
+	Run: run,
+}
+
+// typeKey identifies a named type by package path and name.
+type typeKey struct{ path, name string }
+
+// SharedTypes are the mutable evaluation-state types a pool goroutine
+// must not touch directly.
+var SharedTypes = map[typeKey]bool{
+	{"repro/internal/core", "Design"}:         true,
+	{"repro/internal/engine", "Engine"}:       true,
+	{"repro/internal/engine", "scoreCtx"}:     true,
+	{"repro/internal/ssta", "Incremental"}:    true,
+	{"repro/internal/leakage", "Accumulator"}: true,
+}
+
+// CloneMethods are the methods that constitute the engine's clone
+// path: calling them on captured shared state is the approved way to
+// get a private copy.
+var CloneMethods = map[string]bool{
+	"Clone":       true,
+	"CloneFor":    true,
+	"newScoreCtx": true,
+}
+
+// ImmutableFields lists per-type fields that are shared immutable
+// context, safe to read from any goroutine.
+var ImmutableFields = map[typeKey]map[string]bool{
+	{"repro/internal/core", "Design"}:   {"Circuit": true, "Lib": true, "Var": true},
+	{"repro/internal/engine", "Engine"}: {"cfg": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := analysis.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				checkWorker(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sharedKey returns the SharedTypes key for t (through one pointer),
+// or a zero key.
+func sharedKey(t types.Type) typeKey {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return typeKey{}
+	}
+	k := typeKey{named.Obj().Pkg().Path(), named.Obj().Name()}
+	if !SharedTypes[k] {
+		return typeKey{}
+	}
+	return k
+}
+
+// checkWorker flags captured shared state used outside the clone path
+// inside one `go func` closure.
+func checkWorker(pass *analysis.Pass, lit *ast.FuncLit) {
+	reported := make(map[token.Pos]bool)
+	analysis.WithStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || reported[id.Pos()] {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		// Field names in a selector are judged through the selector's
+		// base expression, not as captures themselves.
+		if len(stack) > 0 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+				return true
+			}
+		}
+		// Free variable: declared outside the closure (or in another
+		// package entirely).
+		if obj.Pkg() == pass.Pkg && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		key := sharedKey(obj.Type())
+		if key == (typeKey{}) {
+			return true
+		}
+		if allowedUse(pass, key, id, stack) {
+			return true
+		}
+		reported[id.Pos()] = true
+		pass.Reportf(id.Pos(), "worker goroutine captures shared %s.%s %q: route it through the engine clone path (Clone/CloneFor) or snapshot immutable context before the fan-out", shortPath(key.path), key.name, id.Name)
+		return true
+	})
+}
+
+func shortPath(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// allowedUse reports whether this use of a captured shared variable is
+// sanctioned: the receiver chain of a clone-path call, or a first-level
+// read of an immutable context field.
+func allowedUse(pass *analysis.Pass, key typeKey, id *ast.Ident, stack []ast.Node) bool {
+	var cur ast.Expr = id
+	first := true
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = parent
+			continue
+		case *ast.SelectorExpr:
+			if parent.X != cur {
+				return false
+			}
+			if first {
+				if imm := ImmutableFields[key]; imm != nil && imm[parent.Sel.Name] {
+					return true
+				}
+				first = false
+			}
+			// A method in the clone path selected directly on the value.
+			if i > 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == parent && CloneMethods[parent.Sel.Name] {
+					return true
+				}
+			}
+			cur = parent
+			continue
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxclone_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxclone"
+)
+
+func TestCtxClone(t *testing.T) {
+	analysistest.Run(t, ctxclone.Analyzer, "a", "clean")
+}

@@ -1,0 +1,38 @@
+// Negative fixture: goroutines over plain data (no shared engine
+// state) and sequential use of shared state, which must stay
+// finding-free.
+package clean
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+func sequential(d *core.Design) float64 {
+	s := 0.0
+	for id := range d.Size {
+		s += d.Size[id]
+	}
+	return s
+}
+
+func plainPool(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(xs); i += 2 {
+				out[i] = xs[i] * 2
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := 0.0
+	for _, v := range out {
+		s += v
+	}
+	return s
+}

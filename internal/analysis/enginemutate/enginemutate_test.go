@@ -1,0 +1,12 @@
+package enginemutate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/enginemutate"
+)
+
+func TestEngineMutate(t *testing.T) {
+	analysistest.Run(t, enginemutate.Analyzer, "a", "clean")
+}

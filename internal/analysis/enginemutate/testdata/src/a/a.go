@@ -1,0 +1,40 @@
+// Fixture: direct writes to a Design's assignment state from outside
+// the engine, next to the reads that must stay free.
+package a
+
+import (
+	"repro/internal/core"
+	"repro/internal/tech"
+)
+
+func directWrites(d *core.Design, i int) {
+	d.Vth[i] = tech.HighVth // want `direct write to core\.Design\.Vth`
+	d.Size[i] = 2.0         // want `direct write to core\.Design\.Size`
+	d.Size[i] += 1.0        // want `direct write to core\.Design\.Size`
+	(d.Vth)[i] = tech.LowVth // want `direct write to core\.Design\.Vth`
+	d.Size = nil            // want `direct write to core\.Design\.Size`
+}
+
+func aliasing(d *core.Design) []float64 {
+	sizes := d.Size // want `aliasing core\.Design\.Size`
+	consume(d.Vth)  // want `aliasing core\.Design\.Vth`
+	return sizes
+}
+
+func consume([]tech.VthClass) {}
+
+// reads exercise every access shape that must not be flagged.
+func reads(d *core.Design, i int) (int, float64) {
+	n := len(d.Vth)
+	s := 0.0
+	for _, v := range d.Size {
+		s += v
+	}
+	if d.Vth[i] == tech.HighVth {
+		n++
+	}
+	if err := d.SetVth(i, tech.LowVth); err != nil { // validating setter: fine
+		n--
+	}
+	return n, s + d.Size[i]
+}

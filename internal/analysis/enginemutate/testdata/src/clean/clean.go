@@ -1,0 +1,27 @@
+// Negative fixture: the optimizer-style access patterns that must
+// stay finding-free — indexed reads, ranging, setters, and bulk
+// restore through core's own API.
+package clean
+
+import (
+	"repro/internal/core"
+	"repro/internal/tech"
+)
+
+func optimizerLoop(d *core.Design) (float64, error) {
+	leak := 0.0
+	for id := range d.Vth {
+		if d.Vth[id] == tech.LowVth {
+			leak += d.GateLeak(id)
+		}
+		if d.Size[id] > 1.5 {
+			leak += 1
+		}
+	}
+	if err := d.SetSizeIndex(0, 0); err != nil {
+		return 0, err
+	}
+	best := d.Clone()
+	d.CopyAssignmentFrom(best)
+	return leak, nil
+}

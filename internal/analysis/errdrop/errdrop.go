@@ -1,0 +1,127 @@
+// Package errdrop defines the statleaklint analyzer that forbids
+// silently discarding error results from this module's own functions.
+//
+// The engine reports cache desynchronization, precondition-violating
+// moves, and non-finite evaluations exclusively through returned
+// errors; a `_ =` discard (or a bare call statement) converts each of
+// those hard failures into silent state corruption — exactly what the
+// transactional design exists to prevent. The analyzer flags any
+// blank-discarded or wholly ignored error returned by a function
+// whose package lives inside the module (std and third-party callees
+// such as fmt.Fprintf keep their conventional idioms). Deferred and
+// `go`-launched cleanup calls are exempt.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarding error results of module-internal functions with _ or bare call statements",
+	Run:  run,
+}
+
+// ModulePrefix scopes the check to callees defined in this module.
+var ModulePrefix = "repro/"
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := analysis.Unparen(n.X).(*ast.CallExpr); ok {
+					checkBareCall(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// moduleCallee resolves call's target to a function defined in this
+// module (or the package under analysis itself); nil otherwise.
+func moduleCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := analysis.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() != pass.Pkg && !strings.HasPrefix(fn.Pkg().Path(), ModulePrefix) {
+		return nil
+	}
+	return fn
+}
+
+// results returns the callee's result types (handling single and
+// tuple returns).
+func results(pass *analysis.Pass, call *ast.CallExpr) []types.Type {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tup.Len())
+		for i := 0; i < tup.Len(); i++ {
+			out[i] = tup.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}
+
+func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := analysis.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	res := results(pass, call)
+	if len(res) != len(n.Lhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && types.Identical(res[i], errorType) {
+			pass.Reportf(lhs.Pos(), "error result of %s discarded with _: propagate or handle it", fn.Name())
+		}
+	}
+}
+
+func checkBareCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := moduleCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	for _, t := range results(pass, call) {
+		if types.Identical(t, errorType) {
+			pass.Reportf(call.Pos(), "error result of %s ignored: assign and handle it", fn.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Fixture: discarded errors from module-local functions, next to the
+// std-library discards that stay idiomatic.
+package a
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+func eval() (float64, error)  { return 0, nil }
+func apply() error            { return nil }
+func multi() (int, int, error) { return 0, 0, nil }
+
+func drops() float64 {
+	v, _ := eval() // want `error result of eval discarded with _`
+	_ = apply()    // want `error result of apply discarded with _`
+	apply()        // want `error result of apply ignored`
+	a, _, _ := multi() // want `error result of multi discarded with _`
+	return v + float64(a)
+}
+
+func handled() (float64, error) {
+	v, err := eval()
+	if err != nil {
+		return 0, err
+	}
+	if err := apply(); err != nil {
+		return 0, err
+	}
+	a, b, err := multi()
+	_ = b // non-error result: discard freely
+	return v + float64(a+b), err
+}
+
+// Std-library and third-party callees keep their conventional idioms.
+func stdIdioms(f *os.File) {
+	fmt.Fprintln(f, "x")
+	n, _ := strconv.Atoi("3")
+	defer f.Close()
+	_ = n
+}

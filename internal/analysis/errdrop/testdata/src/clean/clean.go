@@ -1,0 +1,25 @@
+// Negative fixture: module-style error propagation that must stay
+// finding-free.
+package clean
+
+import "repro/internal/logic"
+
+func stats(c *logic.Circuit) (int, error) {
+	st, err := c.ComputeStats()
+	if err != nil {
+		return 0, err
+	}
+	return st.Gates, nil
+}
+
+func validate(c *logic.Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	vals, _, err := c.SimulateSeq(nil, nil) // middle result is not an error
+	if err != nil {
+		return err
+	}
+	_ = vals
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package floatcmp defines the statleaklint analyzer that forbids raw
+// floating-point equality outside the approved comparison helpers.
+//
+// The optimizers' percentile objectives, the incremental SSTA cache,
+// and the Wilkinson leakage moments all accumulate rounding error; a
+// raw == / != on such values makes control flow depend on the last
+// ulp of a computation whose exact value is an implementation detail
+// (and can change under reassociation or a cache refresh). Every
+// float comparison must go through internal/stats' helpers —
+// AlmostEqual for tolerance, EqExact/EqZero where bit-exact equality
+// is the point (memo keys, disabled-feature sentinels) — so each
+// site documents which semantics it wants. The NaN self-comparison
+// idiom x != x is flagged toward math.IsNaN.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= on floating-point operands (and switches on floats) " +
+		"outside the approved comparison helpers in internal/stats and internal/linalg",
+	Run: run,
+}
+
+// Approved maps package path → function names whose bodies may
+// compare floats directly: they are the tolerance/exact-equality
+// vocabulary everything else must use.
+var Approved = map[string]map[string]bool{
+	"repro/internal/stats": {
+		"AlmostEqual": true,
+		"EqExact":     true,
+		"EqZero":      true,
+	},
+	"repro/internal/linalg": {},
+}
+
+func run(pass *analysis.Pass) error {
+	approved := Approved[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass, n.X) && !isFloat(pass, n.Y) {
+					return true
+				}
+				if constExpr(pass, n.X) && constExpr(pass, n.Y) {
+					return true // compile-time constant comparison
+				}
+				if approved != nil && approved[enclosingFunc(stack)] {
+					return true
+				}
+				if sameExpr(n.X, n.Y) {
+					pass.Reportf(n.Pos(), "float self-comparison: use math.IsNaN instead of %s", n.Op)
+					return true
+				}
+				pass.Reportf(n.Pos(), "raw float %s: use stats.AlmostEqual (tolerance) or stats.EqExact/EqZero (intentional exact compare)", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(pass, n.Tag) {
+					pass.Reportf(n.Tag.Pos(), "switch on a float compares with raw ==: rewrite as explicit comparisons through the stats helpers")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func constExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// enclosingFunc returns the name of the innermost FuncDecl on the
+// stack ("" inside func literals or at package scope).
+func enclosingFunc(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// sameExpr reports whether a and b are the identical simple
+// expression (the x != x NaN idiom): an identifier or a selector
+// chain over identifiers.
+func sameExpr(a, b ast.Expr) bool {
+	switch a := analysis.Unparen(a).(type) {
+	case *ast.Ident:
+		bi, ok := analysis.Unparen(b).(*ast.Ident)
+		return ok && a.Name == bi.Name
+	case *ast.SelectorExpr:
+		bs, ok := analysis.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameExpr(a.X, bs.X)
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "a", "clean")
+}
+
+// TestApprovedHelpers checks that registered helper bodies are exempt
+// while the rest of their package is not.
+func TestApprovedHelpers(t *testing.T) {
+	floatcmp.Approved["approved"] = map[string]bool{"EqExact": true}
+	defer delete(floatcmp.Approved, "approved")
+	analysistest.Run(t, floatcmp.Analyzer, "approved")
+}

@@ -1,0 +1,45 @@
+// Fixture: raw float equality in its common disguises, next to the
+// comparisons that are legitimately not findings.
+package a
+
+import "math"
+
+type point struct{ x, y float64 }
+
+func raw(a, b float64, p point) bool {
+	if a == b { // want `raw float ==`
+		return true
+	}
+	if p.x != p.y { // want `raw float !=`
+		return true
+	}
+	if a == 0 { // want `raw float ==`
+		return true
+	}
+	return float32(a) == float32(b) // want `raw float ==`
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // want `float self-comparison: use math\.IsNaN`
+}
+
+func switchOnFloat(x float64) int {
+	switch x { // want `switch on a float`
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+// Non-findings: ordered comparisons, integer equality, math.IsNaN,
+// and compile-time constant comparisons.
+func fine(a, b float64, n, m int) bool {
+	if a < b || a >= b {
+		return n == m
+	}
+	if math.IsNaN(a) {
+		return false
+	}
+	const eps = 1e-9
+	return eps == 1e-9 && math.Abs(a-b) <= eps
+}

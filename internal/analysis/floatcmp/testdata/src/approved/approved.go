@@ -1,0 +1,12 @@
+// Fixture: a package registered in floatcmp.Approved (by the test)
+// whose designated helpers may compare floats directly — and whose
+// other functions still may not.
+package approved
+
+// EqExact is an approved helper for this fixture.
+func EqExact(a, b float64) bool { return a == b }
+
+// notApproved is in the approved package but not the approved list.
+func notApproved(a, b float64) bool {
+	return a == b // want `raw float ==`
+}

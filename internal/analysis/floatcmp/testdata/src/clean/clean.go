@@ -1,0 +1,12 @@
+// Negative fixture: comparison through the stats vocabulary, which
+// must stay finding-free.
+package clean
+
+import "repro/internal/stats"
+
+func viaHelpers(a, b, tol float64) bool {
+	if stats.EqZero(a) || stats.EqExact(a, 1) {
+		return true
+	}
+	return stats.AlmostEqual(a, b, tol)
+}

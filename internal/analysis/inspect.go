@@ -1,0 +1,35 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks root in depth-first order, calling fn for every node
+// with the stack of its ancestors (outermost first, root included,
+// excluding n itself). Returning false prunes n's subtree. It is the
+// parent-tracking walk several analyzers need to judge the syntactic
+// context of an identifier (assignment target, selector chain, call
+// receiver) without the x/tools inspector.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// Unparen removes any enclosing parentheses from e.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

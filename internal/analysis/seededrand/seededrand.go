@@ -1,0 +1,135 @@
+// Package seededrand defines the statleaklint analyzer that keeps
+// every stochastic path replayable from a configuration seed.
+//
+// The Monte Carlo validation (experiments T3/T4), the dominant-state
+// leakage sampler, and the annealer are all comparisons between runs;
+// the paper's percentile claims are only checkable if a (config,
+// seed) pair reproduces the exact sample stream. Two constructs break
+// that silently: the process-global math/rand stream (shared,
+// order-dependent, seeded from entropy since Go 1.20) and sources
+// seeded from wall-clock time. The analyzer forbids both in non-test
+// code; the approved idiom is rand.New(rand.NewSource(seed)) with the
+// seed threaded from a Config value.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid the global math/rand stream and time-derived RNG seeds " +
+		"so every stochastic path replays from a config seed",
+	Run: run,
+}
+
+// globalStream lists the math/rand (and /v2) package-level functions
+// that draw from the shared, irreproducible process stream.
+var globalStream = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true, "N": true,
+}
+
+// entropyPkgs are packages whose calls inside a seed expression make
+// the seed irreproducible.
+var entropyPkgs = map[string]bool{
+	"time":        true,
+	"crypto/rand": true,
+	"os":          true, // Getpid-style seeds
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn := pkgFunc(pass, n)
+				if fn == nil || !isRandPath(fn.Pkg().Path()) {
+					return true
+				}
+				if globalStream[fn.Name()] {
+					pass.Reportf(n.Pos(), "use of global math/rand.%s: draw from a config-seeded *rand.Rand instead", fn.Name())
+				}
+			case *ast.CallExpr:
+				fn := pkgFunc(pass, analysis.Unparen(n.Fun))
+				if fn == nil || !isRandPath(fn.Pkg().Path()) {
+					return true
+				}
+				switch fn.Name() {
+				case "NewSource", "NewPCG", "NewZipf":
+					for _, arg := range n.Args {
+						if call := entropyCall(pass, arg); call != nil {
+							pass.Reportf(call.Pos(), "RNG seed derived from %s: seeds must come from configuration so runs are replayable", callName(pass, call))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFunc resolves e to a package-level function (not a method); nil
+// otherwise.
+func pkgFunc(pass *analysis.Pass, e ast.Expr) *types.Func {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// entropyCall returns a call to an entropy-source package found
+// anywhere inside e, or nil.
+func entropyCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && entropyPkgs[obj.Pkg().Path()] {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func callName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return "an entropy source"
+}

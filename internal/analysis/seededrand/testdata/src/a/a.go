@@ -1,0 +1,36 @@
+// Fixture: every way a stochastic path can lose replayability, next
+// to the approved seeded idiom.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func globalStream() {
+	_ = rand.Intn(10)      // want `use of global math/rand\.Intn`
+	_ = rand.Float64()     // want `use of global math/rand\.Float64`
+	_ = rand.NormFloat64() // want `use of global math/rand\.NormFloat64`
+	rand.Shuffle(3, func(i, j int) {}) // want `use of global math/rand\.Shuffle`
+	rand.Seed(42)          // want `use of global math/rand\.Seed`
+}
+
+func timeSeeded() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `RNG seed derived from time\.`
+	return rand.New(src)
+}
+
+func entropySeeded() *rand.Rand {
+	return rand.New(rand.NewSource(int64(os.Getpid()))) // want `RNG seed derived from os\.`
+}
+
+func arithmeticOnTime(k int64) *rand.Rand {
+	return rand.New(rand.NewSource(7919*k + time.Now().Unix())) // want `RNG seed derived from time\.`
+}
+
+// seeded is the approved idiom: the seed arrives from configuration.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed + 7919))
+	return rng.NormFloat64() // method on a local *rand.Rand: fine
+}

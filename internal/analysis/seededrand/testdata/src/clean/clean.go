@@ -1,0 +1,24 @@
+// Negative fixture: the repository's actual RNG idioms, which must
+// stay finding-free.
+package clean
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+// perSample derives an independent, replayable stream per sample
+// index — the montecarlo/abb pattern.
+func perSample(cfg Config, s int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
+}
+
+// xored reseeds deterministically for a sub-stream — the
+// latin-hypercube pattern.
+func xored(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+}
+
+func draw(rng *rand.Rand) float64 {
+	rng.Shuffle(4, func(i, j int) {})
+	return rng.Float64() + rng.NormFloat64() + float64(rng.Intn(3))
+}

@@ -1,0 +1,25 @@
+// Package statleaklint registers the analyzer suite that mechanically
+// enforces the evaluation engine's determinism and transactionality
+// invariants. cmd/statleaklint runs it standalone or as a `go vet
+// -vettool`; DESIGN.md §"Static analysis" documents each invariant.
+package statleaklint
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxclone"
+	"repro/internal/analysis/enginemutate"
+	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/seededrand"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxclone.Analyzer,
+		enginemutate.Analyzer,
+		errdrop.Analyzer,
+		floatcmp.Analyzer,
+		seededrand.Analyzer,
+	}
+}

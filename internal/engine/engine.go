@@ -33,6 +33,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/ssta"
 	"repro/internal/sta"
+	"repro/internal/stats"
 )
 
 // Config fixes the evaluation parameters of an engine.
@@ -57,10 +58,10 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() {
-	if c.YieldTarget == 0 {
+	if stats.EqZero(c.YieldTarget) {
 		c.YieldTarget = 0.99
 	}
-	if c.LeakPercentile == 0 {
+	if stats.EqZero(c.LeakPercentile) {
 		c.LeakPercentile = 0.99
 	}
 	if c.RefreshEvery == 0 {
@@ -288,7 +289,7 @@ func (e *Engine) LeakMean() (float64, error) {
 // The result is invalidated by any Apply/Revert and recomputed on
 // demand, so back-to-back queries between moves are free.
 func (e *Engine) Corner(tmaxPs float64) (*sta.Result, error) {
-	if e.corner != nil && e.cornerTmax == tmaxPs {
+	if e.corner != nil && stats.EqExact(e.cornerTmax, tmaxPs) {
 		return e.corner, nil
 	}
 	n := e.d.Circuit.NumNodes()
@@ -297,7 +298,7 @@ func (e *Engine) Corner(tmaxPs float64) (*sta.Result, error) {
 		if g.Type == logic.Input {
 			continue
 		}
-		if e.dLc == 0 && e.dVc == 0 {
+		if stats.EqZero(e.dLc) && stats.EqZero(e.dVc) {
 			delays[g.ID] = e.d.GateDelay(g.ID)
 		} else {
 			delays[g.ID] = e.d.GateDelayWith(g.ID, e.dLc, e.dVc)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/sta"
+	"repro/internal/stats"
 	"repro/internal/tech"
 )
 
@@ -118,7 +119,7 @@ func sizeToTarget(e *engine.Engine, target float64, maxMoves int) (*Result, erro
 
 // cellDelayAt evaluates a cell's delay at the given process point.
 func cellDelayAt(d *core.Design, ty logic.GateType, v tech.VthClass, size, load, dLnm, dVthV float64) float64 {
-	if dLnm == 0 && dVthV == 0 {
+	if stats.EqZero(dLnm) && stats.EqZero(dVthV) {
 		return d.Lib.Delay(ty, v, size, load)
 	}
 	return d.Lib.DelayWith(ty, v, size, load, dLnm, dVthV)

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // Table is a simple column-aligned table.
@@ -52,7 +54,7 @@ func FormatFloat(v float64) string {
 		av = -av
 	}
 	switch {
-	case av == 0:
+	case stats.EqZero(av):
 		return "0"
 	case av >= 1000:
 		return fmt.Sprintf("%.0f", v)

@@ -66,7 +66,7 @@ func Covariance(a, b Canonical) float64 {
 // either is deterministic).
 func Correlation(a, b Canonical) float64 {
 	va, vb := a.Variance(), b.Variance()
-	if va == 0 || vb == 0 {
+	if stats.EqZero(va) || stats.EqZero(vb) {
 		return 0
 	}
 	rho := Covariance(a, b) / math.Sqrt(va*vb)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/stats"
 )
 
 // Result holds a full timing analysis.
@@ -66,7 +67,7 @@ func analyzeAt(d *core.Design, tmax, dLnm, dVthV float64) (*Result, error) {
 		if g.Type == logic.Input {
 			continue
 		}
-		if dLnm == 0 && dVthV == 0 {
+		if stats.EqZero(dLnm) && stats.EqZero(dVthV) {
 			delays[g.ID] = d.GateDelay(g.ID)
 		} else {
 			delays[g.ID] = d.GateDelayWith(g.ID, dLnm, dVthV)

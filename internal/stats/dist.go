@@ -36,10 +36,10 @@ func NormalCDF(x float64) float64 {
 // 99.9th-percentile leakage targets.
 func NormalQuantile(p float64) float64 {
 	if math.IsNaN(p) || p <= 0 || p >= 1 {
-		if p == 0 {
+		if EqZero(p) {
 			return math.Inf(-1)
 		}
-		if p == 1 {
+		if EqExact(p, 1) {
 			return math.Inf(1)
 		}
 		return math.NaN()
@@ -94,7 +94,7 @@ func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
 
 // CDF returns P(X ≤ x).
 func (n Normal) CDF(x float64) float64 {
-	if n.Sigma == 0 {
+	if EqZero(n.Sigma) {
 		if x < n.Mu {
 			return 0
 		}
@@ -136,7 +136,7 @@ func (l Lognormal) CDF(x float64) float64 {
 	if x <= 0 {
 		return 0
 	}
-	if l.Sigma == 0 {
+	if EqZero(l.Sigma) {
 		if x < math.Exp(l.Mu) {
 			return 0
 		}

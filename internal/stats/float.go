@@ -1,0 +1,28 @@
+package stats
+
+import "math"
+
+// This file is the approved floating-point comparison vocabulary
+// enforced by the floatcmp analyzer (internal/analysis/floatcmp): raw
+// == / != on floats is forbidden elsewhere in the module, so every
+// comparison site names the semantics it wants — a tolerance, or an
+// intentionally exact match. Keep the list in sync with
+// floatcmp.Approved.
+
+// AlmostEqual reports whether a and b agree to within tol, measured
+// absolutely near zero and relatively otherwise:
+// |a−b| ≤ tol·(1+|a|+|b|). NaNs compare unequal to everything.
+func AlmostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// EqExact reports a == b, bit-for-bit semantics included (−0 == +0,
+// NaN unequal to itself). Use it where exact equality is the point —
+// memoization keys, values copied from a shared table — and the
+// reader should know that was a decision, not an oversight.
+func EqExact(a, b float64) bool { return a == b }
+
+// EqZero reports x == 0 exactly. Use it for disabled-feature
+// sentinels and guards before division: values that are zero by
+// assignment, not by computation.
+func EqZero(x float64) bool { return x == 0 }

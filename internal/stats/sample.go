@@ -120,7 +120,7 @@ func Correlation(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if EqZero(sxx) || EqZero(syy) {
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"repro/internal/logic"
+	"repro/internal/stats"
 )
 
 // VthClass selects one of the two threshold-voltage flavors every cell
@@ -154,7 +155,7 @@ func (p *Params) Validate() error {
 // tempRatio returns T/T_ref in kelvin.
 func (p *Params) tempRatio() float64 {
 	t := p.TempC
-	if t == 0 {
+	if stats.EqZero(t) {
 		t = referenceTempC
 	}
 	return (273.15 + t) / (273.15 + referenceTempC)
@@ -265,7 +266,9 @@ func (lb *Library) Tau(v VthClass) float64 {
 // SizeIndex returns the index of size s in the ladder, or -1.
 func (lb *Library) SizeIndex(s float64) int {
 	for i, v := range lb.Sizes {
-		if v == s {
+		// Sizes are assigned by copy from this ladder, never computed,
+		// so exact equality is the correct membership test.
+		if stats.EqExact(v, s) {
 			return i
 		}
 	}

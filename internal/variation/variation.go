@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"repro/internal/linalg"
+	"repro/internal/stats"
 )
 
 // Config parameterizes the variation model.
@@ -104,7 +105,7 @@ func New(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.KeepFraction == 0 {
+	if stats.EqZero(cfg.KeepFraction) {
 		cfg.KeepFraction = 0.98
 	}
 	m := &Model{Cfg: cfg}
@@ -240,7 +241,7 @@ func (m *Model) Correlation(x1, y1, x2, y2 float64) float64 {
 	cov := linalg.Dot(a, b)
 	v1 := m.TotalVarAt(x1, y1)
 	v2 := m.TotalVarAt(x2, y2)
-	if v1 == 0 || v2 == 0 {
+	if stats.EqZero(v1) || stats.EqZero(v2) {
 		return 0
 	}
 	return cov / math.Sqrt(v1*v2)
