@@ -4,10 +4,11 @@
 # repo-wide so new goroutines are covered by default).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint build test race bench
+.PHONY: ci lint vet statleaklint build test race bench fuzz daemon
 
-ci: lint build test race
+ci: lint build test race fuzz
 
 # lint = go vet plus the repository's own analyzer suite. statleaklint
 # enforces the engine's determinism/transactionality invariants; see
@@ -32,3 +33,13 @@ race:
 # bench regenerates the evaluation (see bench_test.go / DESIGN.md §5).
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# fuzz smoke: a short randomized pass over both netlist parsers.
+# FUZZTIME=5m fuzz for a longer hunt; corpus accumulates in GOCACHE.
+fuzz:
+	$(GO) test ./internal/bench -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME) -fuzzminimizetime=5s
+	$(GO) test ./internal/verilog -fuzz=FuzzParseVerilog -fuzztime=$(FUZZTIME) -fuzzminimizetime=5s
+
+# daemon builds and starts statleakd on :8080 (see README quickstart).
+daemon:
+	$(GO) run ./cmd/statleakd -addr :8080

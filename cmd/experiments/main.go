@@ -49,12 +49,16 @@ func main() {
 		if err := ctx.RunAll(); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	for _, id := range ids {
-		if err := ctx.Run(id); err != nil {
-			fatal(err)
+	} else {
+		for _, id := range ids {
+			if err := ctx.Run(id); err != nil {
+				fatal(err)
+			}
 		}
+	}
+	if len(ctx.Infeasible) > 0 {
+		fatal(fmt.Errorf("constraint missed in headline tables: %s (relax -tmax-factor)",
+			strings.Join(ctx.Infeasible, "; ")))
 	}
 }
 

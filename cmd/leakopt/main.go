@@ -86,6 +86,7 @@ func main() {
 
 	printState("unoptimized (min-size, all LVT)", d, o, *samples, *seed)
 
+	var infeasible []string
 	if *mode == "det" || *mode == "both" {
 		det := d.Clone()
 		res, err := opt.Deterministic(det, o)
@@ -96,6 +97,9 @@ func main() {
 			o.CornerSigma, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
 			res.Feasible, res.Runtime.Seconds())
 		printState("deterministic result", det, o, *samples, *seed)
+		if !res.Feasible {
+			infeasible = append(infeasible, "deterministic")
+		}
 	}
 	if *mode == "stat" || *mode == "both" {
 		stat := d.Clone()
@@ -107,6 +111,13 @@ func main() {
 			o.YieldTarget, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
 			res.Feasible, res.Runtime.Seconds())
 		printState("statistical result", stat, o, *samples, *seed)
+		if !res.Feasible {
+			infeasible = append(infeasible, "statistical")
+		}
+	}
+	if len(infeasible) > 0 {
+		fatal(fmt.Errorf("constraint not met by: %s (relax -tmax-factor or -yield)",
+			strings.Join(infeasible, ", ")))
 	}
 }
 

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench asserts that Parse never panics on arbitrary input
+// and that any netlist it accepts round-trips through Write: the
+// re-read circuit must exist and preserve the structural counts.
+func FuzzParseBench(f *testing.F) {
+	f.Add(C17)
+	f.Add(S27)
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("# only a comment\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\nz = DFF(y)\n")
+	f.Add("x = AND(\n")
+	f.Add("INPUT()\nOUTPUT(")
+	f.Add("y = XNOR(a, b)")
+	f.Add(strings.Repeat("INPUT(a)\n", 3))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString("fuzz", src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("Write of accepted netlist failed: %v\ninput: %q", err, src)
+		}
+		c2, err := ParseString("fuzz", buf.String())
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\ninput: %q\nwrote: %q", err, src, buf.String())
+		}
+		if c2.NumGates() != c.NumGates() || c2.NumInputs() != c.NumInputs() || c2.NumOutputs() != c.NumOutputs() {
+			t.Fatalf("round-trip changed structure: %d/%d/%d -> %d/%d/%d\ninput: %q",
+				c.NumGates(), c.NumInputs(), c.NumOutputs(),
+				c2.NumGates(), c2.NumInputs(), c2.NumOutputs(), src)
+		}
+	})
+}

@@ -12,6 +12,7 @@ package bench
 
 import (
 	"bufio"
+	"container/heap"
 	"fmt"
 	"io"
 	"sort"
@@ -19,6 +20,23 @@ import (
 
 	"repro/internal/logic"
 )
+
+// indexHeap is a min-heap of pending-slice indices, so dependency
+// resolution processes gates in file order whenever possible and gate
+// IDs stay stable for already-topologically-ordered netlists.
+type indexHeap []int
+
+func (h indexHeap) Len() int            { return len(h) }
+func (h indexHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h indexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *indexHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *indexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
 
 // Parse reads a netlist in ISCAS85 .bench syntax:
 //
@@ -58,6 +76,9 @@ func Parse(name string, r io.Reader) (*logic.Circuit, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
 			}
+			if err := validName(arg); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
 			inputs = append(inputs, arg)
 		case hasPrefixFold(line, "OUTPUT"):
 			arg, err := parenArg(line, "OUTPUT")
@@ -76,6 +97,9 @@ func Parse(name string, r io.Reader) (*logic.Circuit, error) {
 			close_ := strings.LastIndex(rhs, ")")
 			if lhs == "" || open <= 0 || close_ < open {
 				return nil, fmt.Errorf("bench: line %d: malformed gate %q", lineNo, line)
+			}
+			if err := validName(lhs); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
 			}
 			fn := strings.TrimSpace(rhs[:open])
 			var args []string
@@ -124,40 +148,63 @@ func Parse(name string, r io.Reader) (*logic.Circuit, error) {
 		}
 		pending = append(pending, gl)
 	}
-	// Iteratively add gates whose operands are all defined. The format
-	// allows forward references, so loop until a fixpoint.
-	for len(pending) > 0 {
-		progressed := false
-		var next []gateLine
-		for _, gl := range pending {
-			ready := true
-			ids := make([]int, 0, len(gl.args))
-			for _, a := range gl.args {
-				g, ok := c.GateByName(a)
-				if !ok {
-					ready = false
-					break
-				}
-				ids = append(ids, g.ID)
+	// Add gates in dependency order. The format allows forward
+	// references, so resolution is Kahn-style: each pending gate counts
+	// its not-yet-defined operands, and defining a signal wakes exactly
+	// the gates waiting on that name — linear in gates + operands,
+	// where the naive retry-until-fixpoint sweep is quadratic on
+	// reverse-ordered netlists.
+	waiting := make(map[string][]int) // operand name -> indices of pending waiting on it
+	missing := make([]int, len(pending))
+	queue := &indexHeap{}
+	for i, gl := range pending {
+		for _, a := range gl.args {
+			if _, ok := c.GateByName(a); !ok {
+				waiting[a] = append(waiting[a], i)
+				missing[i]++
 			}
-			if !ready {
-				next = append(next, gl)
-				continue
-			}
-			ty, err := logic.GateTypeForFunction(gl.fn, len(gl.args))
-			if err != nil {
-				return nil, fmt.Errorf("bench: line %d: %v", gl.line, err)
-			}
-			if _, err := c.AddGate(gl.name, ty, ids...); err != nil {
-				return nil, fmt.Errorf("bench: line %d: %v", gl.line, err)
-			}
-			progressed = true
 		}
-		if !progressed {
-			return nil, fmt.Errorf("bench: %d gates have undefined or cyclic operands (first: %q line %d)",
-				len(next), next[0].name, next[0].line)
+		if missing[i] == 0 {
+			heap.Push(queue, i)
 		}
-		pending = next
+	}
+	added := 0
+	done := make([]bool, len(pending))
+	for queue.Len() > 0 {
+		i := heap.Pop(queue).(int)
+		gl := pending[i]
+		ids := make([]int, 0, len(gl.args))
+		for _, a := range gl.args {
+			g, ok := c.GateByName(a)
+			if !ok {
+				return nil, fmt.Errorf("bench: line %d: operand %q undefined", gl.line, a)
+			}
+			ids = append(ids, g.ID)
+		}
+		ty, err := logic.GateTypeForFunction(gl.fn, len(gl.args))
+		if err != nil {
+			return nil, fmt.Errorf("bench: line %d: %v", gl.line, err)
+		}
+		if _, err := c.AddGate(gl.name, ty, ids...); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %v", gl.line, err)
+		}
+		added++
+		done[i] = true
+		for _, w := range waiting[gl.name] {
+			missing[w]--
+			if missing[w] == 0 {
+				heap.Push(queue, w)
+			}
+		}
+		delete(waiting, gl.name)
+	}
+	if added != len(pending) {
+		for i, gl := range pending {
+			if !done[i] {
+				return nil, fmt.Errorf("bench: %d gates have undefined or cyclic operands (first: %q line %d)",
+					len(pending)-added, gl.name, gl.line)
+			}
+		}
 	}
 	for _, dc := range dffConns {
 		g, ok := c.GateByName(dc.operand)
@@ -193,6 +240,16 @@ func ParseString(name, text string) (*logic.Circuit, error) {
 
 func hasPrefixFold(s, prefix string) bool {
 	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+// validName rejects signal names that cannot survive a Write/Parse
+// round trip: operand lists split on commas and trim whitespace, so
+// names containing either are ambiguous on re-read.
+func validName(s string) error {
+	if strings.ContainsAny(s, ", \t") {
+		return fmt.Errorf("signal name %q contains ',' or whitespace", s)
+	}
+	return nil
 }
 
 func parenArg(line, kw string) (string, error) {

@@ -27,13 +27,28 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/leakage"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/ssta"
 	"repro/internal/sta"
 	"repro/internal/stats"
+)
+
+// Hot-path instrumentation (see internal/obs): one atomic add per
+// move; exported at GET /metrics by statleakd.
+var (
+	metApplied = obs.Default.Counter("statleak_engine_moves_applied_total",
+		"moves applied through the engine (Apply and committed Txn moves)")
+	metReverted = obs.Default.Counter("statleak_engine_moves_reverted_total",
+		"moves undone through the engine (Revert and Txn rollbacks)")
+	metScored = obs.Default.Counter("statleak_engine_moves_scored_total",
+		"speculative move evaluations (Score/ScoreLocal/ScoreAll workers)")
+	metRefreshes = obs.Default.Histogram("statleak_engine_cache_refresh_seconds",
+		"latency of full timing+leakage cache rebuilds (periodic drift refresh)", nil)
 )
 
 // Config fixes the evaluation parameters of an engine.
@@ -157,6 +172,7 @@ func (e *Engine) Apply(m Move) error {
 	if err := m.Apply(e.d); err != nil {
 		return err
 	}
+	metApplied.Inc()
 	return e.noteChange(m.Gate())
 }
 
@@ -165,6 +181,7 @@ func (e *Engine) Revert(m Move) error {
 	if err := m.Revert(e.d); err != nil {
 		return err
 	}
+	metReverted.Inc()
 	return e.noteChange(m.Gate())
 }
 
@@ -190,6 +207,8 @@ func (e *Engine) noteChange(id int) error {
 // Refresh rebuilds every live cache from the design's current state,
 // discarding accumulated floating-point drift.
 func (e *Engine) Refresh() error {
+	t0 := time.Now()
+	defer func() { metRefreshes.Observe(time.Since(t0).Seconds()) }()
 	e.corner = nil
 	e.sinceRefresh = 0
 	if e.inc != nil {

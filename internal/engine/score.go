@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -56,6 +57,7 @@ func (e *Engine) newScoreCtx(d *core.Design, acc *leakage.Accumulator, inc *ssta
 // returning — net-zero by construction: the apply/revert pair cancels
 // in the factored leakage sums and the re-timed cone converges back.
 func (c *scoreCtx) score(m Move) (Score, error) {
+	metScored.Inc()
 	id := m.Gate()
 	own0 := c.d.GateDelay(id)
 	nom0 := c.d.GateLeak(id)
@@ -119,25 +121,39 @@ func (e *Engine) ScoreLocal(m Move) (Score, error) {
 // (no work stealing) — every worker scores a contiguous, input-ordered
 // span from the same baseline state.
 func (e *Engine) ScoreAll(moves []Move) ([]Score, error) {
+	return e.ScoreAllCtx(context.Background(), moves)
+}
+
+// ScoreAllCtx is ScoreAll with cancellation: every worker checks ctx
+// between moves, so a cancelled optimization stops scoring within one
+// move instead of finishing the fan-out. On cancellation the partial
+// scores are discarded and ctx.Err() is returned.
+func (e *Engine) ScoreAllCtx(ctx context.Context, moves []Move) ([]Score, error) {
 	if err := e.ensureAcc(); err != nil {
 		return nil, err
 	}
 	if err := e.ensureTiming(); err != nil {
 		return nil, err
 	}
-	return e.scoreAll(moves, true)
+	return e.scoreAll(ctx, moves, true)
 }
 
 // ScoreAllLocal is ScoreAll with the local timing surrogate — the
 // parallel form of ScoreLocal.
 func (e *Engine) ScoreAllLocal(moves []Move) ([]Score, error) {
+	return e.ScoreAllLocalCtx(context.Background(), moves)
+}
+
+// ScoreAllLocalCtx is ScoreAllLocal with cancellation (see
+// ScoreAllCtx).
+func (e *Engine) ScoreAllLocalCtx(ctx context.Context, moves []Move) ([]Score, error) {
 	if err := e.ensureAcc(); err != nil {
 		return nil, err
 	}
-	return e.scoreAll(moves, false)
+	return e.scoreAll(ctx, moves, false)
 }
 
-func (e *Engine) scoreAll(moves []Move, exact bool) ([]Score, error) {
+func (e *Engine) scoreAll(ctx context.Context, moves []Move, exact bool) ([]Score, error) {
 	if len(moves) == 0 {
 		return nil, nil
 	}
@@ -151,9 +167,12 @@ func (e *Engine) scoreAll(moves []Move, exact bool) ([]Score, error) {
 		if exact {
 			inc = e.inc
 		}
-		ctx := e.newScoreCtx(e.d, e.acc, inc)
+		sc := e.newScoreCtx(e.d, e.acc, inc)
 		for i, m := range moves {
-			s, err := ctx.score(m)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s, err := sc.score(m)
 			if err != nil {
 				return nil, err
 			}
@@ -181,9 +200,13 @@ func (e *Engine) scoreAll(moves []Move, exact bool) ([]Score, error) {
 			if exact {
 				inc = e.inc.CloneFor(dc)
 			}
-			ctx := e.newScoreCtx(dc, e.acc.CloneFor(dc), inc)
+			sc := e.newScoreCtx(dc, e.acc.CloneFor(dc), inc)
 			for i := lo; i < hi; i++ {
-				s, err := ctx.score(moves[i])
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				s, err := sc.score(moves[i])
 				if err != nil {
 					errs[w] = err
 					return

@@ -33,6 +33,18 @@ type Context struct {
 	TechParams *tech.Params
 	// Out receives rendered tables/series.
 	Out io.Writer
+
+	// Infeasible collects "experiment: circuit (flow)" entries for
+	// headline-table rows whose optimizer missed the constraint, so
+	// cmd/experiments can exit non-zero. Sweep experiments that probe
+	// constraint limits on purpose (e.g. the technology-scaling figure)
+	// do not record here.
+	Infeasible []string
+}
+
+// recordInfeasible notes a missed constraint in a headline table.
+func (ctx *Context) recordInfeasible(exp, detail string) {
+	ctx.Infeasible = append(ctx.Infeasible, fmt.Sprintf("%s: %s", exp, detail))
 }
 
 // DefaultBenchmarks is the subset used by the heavier experiments;

@@ -31,6 +31,7 @@ func (ctx *Context) SequentialTable() (*report.Table, error) {
 			return nil, err
 		}
 		if !pair.DetRes.Feasible || !pair.StatRes.Feasible {
+			ctx.recordInfeasible("s1", name)
 			t.AddRow(name, pr.Base.Circuit.NumGates(), pr.Base.Circuit.NumDffs(),
 				pr.DminPs, "infeasible", "-", "-", "-", "-")
 			continue

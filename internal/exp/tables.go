@@ -65,6 +65,7 @@ func (ctx *Context) Table2() (*report.Table, error) {
 		}
 		el := time.Since(t0)
 		if !refRes.Feasible || !res.Feasible {
+			ctx.recordInfeasible("table2", name+" (deterministic)")
 			t.AddRow(name, "infeasible", "-", "-", "-", "-", "-", "-")
 			continue
 		}
@@ -97,6 +98,7 @@ func (ctx *Context) Table3() (*report.Table, error) {
 			return nil, err
 		}
 		if !pair.DetRes.Feasible || !pair.StatRes.Feasible {
+			ctx.recordInfeasible("table3", name)
 			t.AddRow(name, "infeasible", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}

@@ -7,16 +7,34 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/sta"
 	"repro/internal/stats"
 	"repro/internal/tech"
+)
+
+// Instrumentation: sample volume and throughput (see internal/obs).
+// The counter/histogram pair gives scrapers a rate; the gauge is the
+// last completed run's samples/sec for at-a-glance dashboards.
+var (
+	metSamples = obs.Default.Counter("statleak_mc_samples_total",
+		"Monte Carlo die samples evaluated")
+	metRuns = obs.Default.Counter("statleak_mc_runs_total",
+		"Monte Carlo runs completed")
+	metRunSeconds = obs.Default.Histogram("statleak_mc_run_seconds",
+		"wall-clock latency of completed Monte Carlo runs", nil)
+	metThroughput = obs.Default.Gauge("statleak_mc_samples_per_second",
+		"throughput of the last completed Monte Carlo run")
 )
 
 // Sampling selects the sampling scheme for the shared variation
@@ -84,6 +102,14 @@ func (r *Result) DelayQuantile(p float64) float64 { return stats.Percentile(r.De
 // (design, Config.Samples, Config.Seed) regardless of Workers: each
 // sample derives its RNG stream from Seed and its own index.
 func Run(d *core.Design, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), d, cfg)
+}
+
+// RunCtx is Run with cancellation: workers stop drawing new samples as
+// soon as ctx is cancelled and the partial result is discarded
+// (ctx.Err() is returned), so a cancelled job never publishes a
+// truncated — and therefore non-replayable — sample set.
+func RunCtx(ctx context.Context, d *core.Design, cfg Config) (*Result, error) {
 	if cfg.Samples <= 0 {
 		return nil, fmt.Errorf("montecarlo: Samples %d must be > 0", cfg.Samples)
 	}
@@ -144,6 +170,8 @@ func Run(d *core.Design, cfg Config) (*Result, error) {
 		DelaysPs: make([]float64, cfg.Samples),
 		LeaksNW:  make([]float64, cfg.Samples),
 	}
+	t0 := time.Now()
+	var done atomic.Uint64
 	jobs := make(chan int, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -155,6 +183,9 @@ func Run(d *core.Design, cfg Config) (*Result, error) {
 			lib := d.Lib
 			vm := d.Var
 			for s := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the channel without evaluating
+				}
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
 				die := vm.SampleGlobals(rng)
 				if lhs != nil {
@@ -175,14 +206,30 @@ func Run(d *core.Design, cfg Config) (*Result, error) {
 				}
 				res.DelaysPs[s] = sta.MaxDelayWithDelays(d.Circuit, order, delays, scratch, d.Lib.P.DffSetupPs)
 				res.LeaksNW[s] = leak
+				done.Add(1)
 			}
 		}()
 	}
+feed:
 	for s := 0; s < cfg.Samples; s++ {
-		jobs <- s
+		select {
+		case jobs <- s:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	metSamples.Add(done.Load())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(t0).Seconds()
+	metRuns.Inc()
+	metRunSeconds.Observe(elapsed)
+	if elapsed > 0 {
+		metThroughput.Set(float64(cfg.Samples) / elapsed)
+	}
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -44,12 +45,20 @@ func DefaultAnnealConfig() AnnealConfig {
 // of a full SSTA; the final state is the best feasible one seen. The
 // trajectory is deterministic per seed.
 func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
+	return AnnealCtx(context.Background(), d, o, cfg)
+}
+
+// AnnealCtx is Anneal with cancellation: the walk checks ctx once per
+// proposed move and returns ctx.Err(), leaving the design in the last
+// consistent (fully applied or fully reverted) state.
+func AnnealCtx(ctx context.Context, d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 	start := time.Now()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &StatResult{}
+	om := metricsFor("anneal")
 
 	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
@@ -92,6 +101,9 @@ func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 	}
 
 	for m := 0; m < cfg.Moves; m++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		temp := t0 * math.Pow(t1/t0, float64(m)/float64(cfg.Moves))
 		id := gates[rng.Intn(len(gates))]
 
@@ -133,6 +145,7 @@ func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 		if err := e.Apply(mv); err != nil {
 			return nil, err
 		}
+		om.proposed.Inc()
 
 		cand, candYield, candQ, err := evalObjective()
 		if err != nil {
@@ -145,11 +158,15 @@ func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
 			}
 			continue
 		}
+		om.accepted.Inc()
 		cur = cand
 		res.Moves++
 		if candYield >= o.YieldTarget && candQ < bestFeasible {
 			bestFeasible = candQ
 			bestState = d.Clone()
+		}
+		if res.Moves%256 == 0 {
+			o.report(Progress{Optimizer: "anneal", Phase: "walk", Moves: res.Moves, LeakQNW: candQ, Yield: candYield})
 		}
 	}
 	if bestState != nil {

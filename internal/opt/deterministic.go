@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -17,11 +18,17 @@ import (
 // mutates d; callers wanting only the number should pass a clone.
 // The experiments use it to normalize delay targets (Tmax = m·Dmin).
 func MinimumDelay(d *core.Design) (float64, error) {
+	return MinimumDelayCtx(context.Background(), d)
+}
+
+// MinimumDelayCtx is MinimumDelay with cancellation: the sizing loop
+// checks ctx once per move, so a cancelled job stops within one move.
+func MinimumDelayCtx(ctx context.Context, d *core.Design) (float64, error) {
 	e, err := engine.New(d, engine.Config{TmaxPs: 1})
 	if err != nil {
 		return 0, err
 	}
-	res, err := sizeToTarget(e, 0, 0)
+	res, err := sizeToTarget(ctx, e, 0, 0, metricsFor("min-delay"), Options{}, "min-delay")
 	if err != nil {
 		return 0, err
 	}
@@ -34,8 +41,9 @@ func MinimumDelay(d *core.Design) (float64, error) {
 // speedup minus the slowdown it inflicts on its drivers), apply it,
 // and verify with the engine's memoized corner STA — reverting and
 // blacklisting the gate when the estimate was wrong. target = 0 sizes
-// for minimum delay. maxMoves 0 means 10×n.
-func sizeToTarget(e *engine.Engine, target float64, maxMoves int) (*Result, error) {
+// for minimum delay. maxMoves 0 means 10×n. The loop checks ctx once
+// per iteration so cancellation lands within one move.
+func sizeToTarget(ctx context.Context, e *engine.Engine, target float64, maxMoves int, om optMetrics, o Options, optimizer string) (*Result, error) {
 	res := &Result{}
 	d := e.Design()
 	c := d.Circuit
@@ -52,6 +60,9 @@ func sizeToTarget(e *engine.Engine, target float64, maxMoves int) (*Result, erro
 		return nil, err
 	}
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if target > 0 && r.MaxDelay <= target {
 			res.Feasible = true
 			break
@@ -90,6 +101,7 @@ func sizeToTarget(e *engine.Engine, target float64, maxMoves int) (*Result, erro
 		if err := e.Apply(mv); err != nil {
 			return nil, err
 		}
+		om.proposed.Inc()
 		r2, err := analyze()
 		if err != nil {
 			return nil, err
@@ -104,9 +116,11 @@ func sizeToTarget(e *engine.Engine, target float64, maxMoves int) (*Result, erro
 			blacklist[bestID] = true
 			continue
 		}
+		om.accepted.Inc()
 		res.Moves++
 		res.SizeUps++
 		r = r2
+		o.report(Progress{Optimizer: optimizer, Phase: "sizing", Moves: res.Moves, LeakQNW: d.TotalLeak()})
 		// Progress invalidates stale blacklist knowledge.
 		if len(blacklist) > 0 && iter%16 == 0 {
 			blacklist = make(map[int]bool)
@@ -174,10 +188,18 @@ var phaseAMargins = []float64{1.0, 0.93, 0.86, 0.80, 0.74}
 // compares against: it guarantees yield by uniform pessimism, and
 // pays for it in leakage.
 func Deterministic(d *core.Design, o Options) (*Result, error) {
+	return DeterministicCtx(context.Background(), d, o)
+}
+
+// DeterministicCtx is Deterministic with cancellation: both phases
+// check ctx at move granularity and return ctx.Err() on cancellation,
+// leaving the design in the last consistent (fully applied) state.
+func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, error) {
 	start := time.Now()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	om := metricsFor("deterministic")
 	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
 		return nil, err
@@ -194,7 +216,7 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 	for _, m := range margins {
 		res := &Result{}
 		if o.EnableSizing {
-			res, err = sizeToTarget(e, o.TmaxPs*m, o.MaxMoves)
+			res, err = sizeToTarget(ctx, e, o.TmaxPs*m, o.MaxMoves, om, o, "deterministic")
 			if err != nil {
 				return nil, err
 			}
@@ -210,7 +232,7 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 		if r.MaxDelay > o.TmaxPs+slackEps {
 			break // even the real constraint is out of reach; deeper targets won't help
 		}
-		if err := detPhaseB(e, o, total); err != nil {
+		if err := detPhaseB(ctx, e, o, total, om); err != nil {
 			return nil, err
 		}
 		if leak := d.TotalLeak(); leak < bestLeak {
@@ -240,8 +262,9 @@ func Deterministic(d *core.Design, o Options) (*Result, error) {
 	return total, nil
 }
 
-// detPhaseB drains all corner-feasible leakage-recovery moves.
-func detPhaseB(e *engine.Engine, o Options, res *Result) error {
+// detPhaseB drains all corner-feasible leakage-recovery moves,
+// checking ctx once per move.
+func detPhaseB(ctx context.Context, e *engine.Engine, o Options, res *Result, om optMetrics) error {
 	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
@@ -249,6 +272,9 @@ func detPhaseB(e *engine.Engine, o Options, res *Result) error {
 	}
 	blocked := make(map[moveKey]bool)
 	for res.Moves < maxMoves {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, err := e.Corner(o.TmaxPs)
 		if err != nil {
 			return err
@@ -260,6 +286,7 @@ func detPhaseB(e *engine.Engine, o Options, res *Result) error {
 		if err := e.Apply(mv); err != nil {
 			return err
 		}
+		om.proposed.Inc()
 		// The feasibility condition is exact for these move types (see
 		// the package comment), so a violation here would be a bug; the
 		// check stays as a cheap invariant guard.
@@ -274,12 +301,14 @@ func detPhaseB(e *engine.Engine, o Options, res *Result) error {
 			blocked[keyOf(mv)] = true
 			continue
 		}
+		om.accepted.Inc()
 		res.Moves++
 		if mv.Kind() == engine.KindVthSwap {
 			res.VthSwaps++
 		} else {
 			res.SizeDowns++
 		}
+		o.report(Progress{Optimizer: "deterministic", Phase: "recovery", Moves: res.Moves, LeakQNW: d.TotalLeak()})
 	}
 	return nil
 }

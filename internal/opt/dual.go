@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -35,11 +36,19 @@ type DualResult struct {
 // total leakage — holds. Each accepted move re-times only the moved
 // gate's fanout cone through the engine.
 func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (*DualResult, error) {
+	return MinimizeDelayUnderLeakBudgetCtx(context.Background(), d, o, budgetNW)
+}
+
+// MinimizeDelayUnderLeakBudgetCtx is MinimizeDelayUnderLeakBudget with
+// cancellation: the greedy loop checks ctx once per move and returns
+// ctx.Err(), leaving the design in the last consistent state.
+func MinimizeDelayUnderLeakBudgetCtx(ctx context.Context, d *core.Design, o Options, budgetNW float64) (*DualResult, error) {
 	start := time.Now()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	res := &DualResult{BudgetNW: budgetNW, YieldTargetQ: o.YieldTarget}
+	om := metricsFor("dual")
 	kappa := stats.NormalQuantile(o.YieldTarget)
 
 	// Least-leaky start (before the engine builds its caches).
@@ -76,6 +85,9 @@ func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (
 	}
 	blacklist := make(map[moveKey]bool)
 	for res.Moves < maxMoves {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sr, err := e.Timing()
 		if err != nil {
 			return nil, err
@@ -130,6 +142,7 @@ func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (
 		if err := e.Apply(best); err != nil {
 			return nil, err
 		}
+		om.proposed.Inc()
 		lq, err := e.LeakQuantile(o.LeakPercentile)
 		if err != nil {
 			return nil, err
@@ -147,12 +160,14 @@ func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (
 			blacklist[keyOf(best)] = true
 			continue
 		}
+		om.accepted.Inc()
 		res.Moves++
 		if best.Kind() == engine.KindVthSwap {
 			res.SwapsToLVT++
 		} else {
 			res.SizeUps++
 		}
+		o.report(Progress{Optimizer: "dual", Phase: "speedup", Moves: res.Moves, LeakQNW: lq})
 	}
 	res.DelayQPs, err = e.DelayQuantile(o.YieldTarget)
 	if err != nil {

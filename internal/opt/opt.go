@@ -29,7 +29,31 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
+
+// Move-acceptance instrumentation, labelled per optimizer: the
+// accepted/proposed ratio is each optimizer's hit rate, a direct
+// health signal for the ranking heuristics (see internal/obs).
+var (
+	metProposed = obs.Default.CounterVec("statleak_opt_moves_proposed_total",
+		"moves applied speculatively by an optimizer", "optimizer")
+	metAccepted = obs.Default.CounterVec("statleak_opt_moves_accepted_total",
+		"speculative moves kept after verification", "optimizer")
+)
+
+// optMetrics carries one optimizer's pre-resolved child counters so
+// the inner loops pay a single atomic add, not a vec lookup.
+type optMetrics struct {
+	proposed, accepted *obs.Counter
+}
+
+func metricsFor(optimizer string) optMetrics {
+	return optMetrics{
+		proposed: metProposed.With(optimizer),
+		accepted: metAccepted.With(optimizer),
+	}
+}
 
 // Options configures an optimization run.
 type Options struct {
@@ -54,6 +78,30 @@ type Options struct {
 	EnableSizing bool
 	// MaxMoves caps the total number of applied moves (0 ⇒ 10×gates).
 	MaxMoves int
+	// Progress, when non-nil, receives point-in-time snapshots at
+	// optimizer loop boundaries (at most one per applied batch/move).
+	// It is called synchronously from the optimizer goroutine, so it
+	// must be cheap and must not call back into the optimizer or the
+	// engine; the job server uses it to publish live status.
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time optimizer snapshot for observers.
+// Fields an optimizer does not track are zero (e.g. the deterministic
+// corner flow reports no yield).
+type Progress struct {
+	Optimizer string  // "deterministic", "statistical", "anneal", "dual", "min-delay"
+	Phase     string  // optimizer-specific phase label, e.g. "sizing", "recovery"
+	Moves     int     // applied (and kept) moves so far
+	LeakQNW   float64 // current objective leakage [nW]: percentile for statistical flows, nominal for corner flows; 0 if not tracked
+	Yield     float64 // current timing yield at Tmax, 0 if not tracked
+}
+
+// report invokes the Progress callback when one is set.
+func (o Options) report(ev Progress) {
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
 }
 
 // DefaultOptions returns the experiment defaults for a given delay

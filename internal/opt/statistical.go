@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -34,11 +35,19 @@ type StatResult struct {
 // back just enough moves to restore feasibility). One engine carries
 // the timing/leakage caches across the whole margin sweep.
 func Statistical(d *core.Design, o Options) (*StatResult, error) {
+	return StatisticalCtx(context.Background(), d, o)
+}
+
+// StatisticalCtx is Statistical with cancellation: both phases check
+// ctx at move (phase A) or batch (phase B) granularity and return
+// ctx.Err(), leaving the design in the last consistent state.
+func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult, error) {
 	start := time.Now()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	res := &StatResult{}
+	om := metricsFor("statistical")
 	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
 		return nil, err
@@ -52,7 +61,7 @@ func Statistical(d *core.Design, o Options) (*StatResult, error) {
 		margins = margins[:1]
 	}
 	for _, m := range margins {
-		if err := statPhaseA(e, o, o.TmaxPs*m, res); err != nil {
+		if err := statPhaseA(ctx, e, o, o.TmaxPs*m, res, om); err != nil {
 			return nil, err
 		}
 		q, err := e.DelayQuantile(o.YieldTarget)
@@ -62,7 +71,7 @@ func Statistical(d *core.Design, o Options) (*StatResult, error) {
 		if q > o.TmaxPs {
 			break // the real yield constraint is out of reach
 		}
-		if err := statPhaseB(e, o, res); err != nil {
+		if err := statPhaseB(ctx, e, o, res, om); err != nil {
 			return nil, err
 		}
 		an, err := leakage.Exact(d)
@@ -82,7 +91,7 @@ func Statistical(d *core.Design, o Options) (*StatResult, error) {
 
 // statPhaseA upsizes statistically critical gates until the
 // eta-quantile of circuit delay meets target (or no move helps).
-func statPhaseA(e *engine.Engine, o Options, target float64, res *StatResult) error {
+func statPhaseA(ctx context.Context, e *engine.Engine, o Options, target float64, res *StatResult, om optMetrics) error {
 	if !o.EnableSizing {
 		return nil
 	}
@@ -94,6 +103,9 @@ func statPhaseA(e *engine.Engine, o Options, target float64, res *StatResult) er
 	}
 	blacklist := make(map[int]bool)
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		q0, err := e.DelayQuantile(o.YieldTarget)
 		if err != nil {
 			return err
@@ -133,6 +145,7 @@ func statPhaseA(e *engine.Engine, o Options, target float64, res *StatResult) er
 		if err := e.Apply(mv); err != nil {
 			return err
 		}
+		om.proposed.Inc()
 		q1, err := e.DelayQuantile(o.YieldTarget)
 		if err != nil {
 			return err
@@ -144,8 +157,10 @@ func statPhaseA(e *engine.Engine, o Options, target float64, res *StatResult) er
 			blacklist[bestID] = true
 			continue
 		}
+		om.accepted.Inc()
 		res.Moves++
 		res.SizeUps++
+		o.report(Progress{Optimizer: "statistical", Phase: "sizing", Moves: res.Moves})
 		if len(blacklist) > 0 && iter%16 == 0 {
 			blacklist = make(map[int]bool)
 		}
@@ -159,7 +174,7 @@ func statPhaseA(e *engine.Engine, o Options, target float64, res *StatResult) er
 // incrementally — only the fanout cones of moved gates are re-timed —
 // and candidates are scored in parallel via the engine's worker pool,
 // which is what keeps large-circuit optimization in seconds.
-func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
+func statPhaseB(ctx context.Context, e *engine.Engine, o Options, res *StatResult, om optMetrics) error {
 	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
@@ -175,11 +190,14 @@ func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
 	const safety = 0.8 // fraction of a gate's statistical slack a batch may consume
 
 	for res.Moves < maxMoves {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		slack, err := e.StatisticalSlack()
 		if err != nil {
 			return err
 		}
-		cands, err := statCandidates(e, o, slack, safety, blocked)
+		cands, err := statCandidates(ctx, e, o, slack, safety, blocked)
 		if err != nil {
 			return err
 		}
@@ -207,6 +225,7 @@ func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
 			if err := txn.Apply(cand.mv); err != nil {
 				return err
 			}
+			om.proposed.Inc()
 		}
 		if txn.Len() == 0 {
 			txn.Commit()
@@ -236,6 +255,7 @@ func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
 			break
 		}
 		for _, mv := range kept {
+			om.accepted.Inc()
 			res.Moves++
 			if mv.Kind() == engine.KindVthSwap {
 				res.VthSwaps++
@@ -244,6 +264,13 @@ func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
 			}
 		}
 		txn.Commit()
+		if o.Progress != nil {
+			lq, err := e.LeakQuantile(o.LeakPercentile)
+			if err != nil {
+				return err
+			}
+			o.report(Progress{Optimizer: "statistical", Phase: "recovery", Moves: res.Moves, LeakQNW: lq})
+		}
 	}
 
 	// Polish: the batch heuristic under-uses the last sliver of slack
@@ -252,11 +279,14 @@ func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
 	// verify the yield (incrementally re-timed), keep or
 	// revert-and-block.
 	for res.Moves < maxMoves {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		slack, err := e.StatisticalSlack()
 		if err != nil {
 			return err
 		}
-		cands, err := statCandidates(e, o, slack, 1.0, blocked)
+		cands, err := statCandidates(ctx, e, o, slack, 1.0, blocked)
 		if err != nil {
 			return err
 		}
@@ -269,6 +299,7 @@ func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
 			if err := e.Apply(cand.mv); err != nil {
 				return err
 			}
+			om.proposed.Inc()
 			y, err := e.Yield()
 			if err != nil {
 				return err
@@ -280,11 +311,19 @@ func statPhaseB(e *engine.Engine, o Options, res *StatResult) error {
 				blocked[keyOf(cand.mv)] = true
 				continue
 			}
+			om.accepted.Inc()
 			res.Moves++
 			if cand.mv.Kind() == engine.KindVthSwap {
 				res.VthSwaps++
 			} else {
 				res.SizeDowns++
+			}
+			if o.Progress != nil {
+				lq, err := e.LeakQuantile(o.LeakPercentile)
+				if err != nil {
+					return err
+				}
+				o.report(Progress{Optimizer: "statistical", Phase: "polish", Moves: res.Moves, LeakQNW: lq, Yield: y})
 			}
 			accepted = true
 			break
@@ -312,7 +351,7 @@ type statCand struct {
 // currency against StatisticalSlack's sigma-adjusted budget; the
 // move's (small) effect on the circuit sigma is caught by the
 // incremental-SSTA batch verification.
-func statCandidates(e *engine.Engine, o Options, slack []float64, safety float64, blocked map[moveKey]bool) ([]statCand, error) {
+func statCandidates(ctx context.Context, e *engine.Engine, o Options, slack []float64, safety float64, blocked map[moveKey]bool) ([]statCand, error) {
 	d := e.Design()
 	var cands []statCand
 	var moves []engine.Move
@@ -353,7 +392,7 @@ func statCandidates(e *engine.Engine, o Options, slack []float64, safety float64
 	if len(moves) == 0 {
 		return nil, nil
 	}
-	scores, err := e.ScoreAllLocal(moves)
+	scores, err := e.ScoreAllLocalCtx(ctx, moves)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds a job submission (netlists are text; 16 MiB
+// covers circuits far beyond the paper's benchmarks).
+const maxBodyBytes = 16 << 20
+
+// Handler returns the daemon's HTTP API over the manager:
+//
+//	POST   /v1/jobs             submit a job            → 202 Status
+//	GET    /v1/jobs             list live jobs          → 200 []Status
+//	GET    /v1/jobs/{id}        status + live progress  → 200 Status
+//	DELETE /v1/jobs/{id}        cancel                  → 202 Status
+//	GET    /v1/jobs/{id}/result fetch a done job        → 200 Outcome
+//	GET    /metrics             Prometheus text format
+//	GET    /healthz             liveness + queue stats
+//	GET    /debug/pprof/        runtime profiles
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		job, err := m.Submit(req)
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.status())
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		out := make([]Status, 0, len(jobs))
+		for _, j := range jobs {
+			out = append(out, j.status())
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job.status())
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := m.Cancel(id); !ok {
+			writeErr(w, http.StatusNotFound, "no such job")
+			return
+		}
+		job, _ := m.Get(id)
+		writeJSON(w, http.StatusAccepted, job.status())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job")
+			return
+		}
+		job.mu.Lock()
+		state, outcome, errMsg := job.state, job.outcome, job.errMsg
+		job.mu.Unlock()
+		if state != StateDone {
+			writeJSON(w, http.StatusConflict, map[string]string{
+				"state": string(state),
+				"error": errMsg,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, outcome)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		metQueueDepth.Set(float64(len(m.queue)))
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			m.log.Warn("metrics write failed", "err", err.Error())
+		}
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		closed, live := m.closed, len(m.jobs)
+		m.mu.Unlock()
+		if closed {
+			writeErr(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"jobs":    live,
+			"queued":  len(m.queue),
+			"workers": m.cfg.Workers,
+		})
+	})
+
+	// pprof is mounted explicitly: the daemon uses its own mux, so the
+	// default-mux side effects of importing net/http/pprof don't apply.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the client disconnected mid-response;
+	// the status line is already out, so there is no recovery.
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,431 @@
+// Package server is the service layer of the repository: a job
+// manager that runs optimizations asynchronously on a bounded worker
+// pool, and an HTTP JSON API over it (see http.go). Each job carries
+// its own design built from the submitted netlist, so jobs share no
+// mutable state — the only cross-job objects are the manager's
+// bookkeeping maps, guarded by one mutex.
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/opt"
+	"repro/internal/tech"
+	"repro/internal/variation"
+	"repro/internal/verilog"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is one optimization job submission. Exactly one of Netlist
+// and Circuit selects the input; the rest parameterizes the run.
+type Request struct {
+	// Netlist is the netlist text (not a path — the daemon does not
+	// read the client's filesystem). Format selects the parser.
+	Netlist string `json:"netlist,omitempty"`
+	// Format is "bench" (default) or "verilog".
+	Format string `json:"format,omitempty"`
+	// Circuit names a synthetic suite circuit (s432 … s7552,
+	// q344 … q5378) as an alternative to Netlist.
+	Circuit string `json:"circuit,omitempty"`
+	// Name labels the design (defaults to Circuit or "netlist").
+	Name string `json:"name,omitempty"`
+
+	// Preset is the technology preset: 130nm, 100nm (default), 70nm.
+	Preset string `json:"preset,omitempty"`
+
+	// Optimizer is "statistical" (default), "deterministic", "anneal",
+	// or "dual".
+	Optimizer string `json:"optimizer,omitempty"`
+
+	// TmaxPs fixes the delay constraint [ps]; when 0, the constraint is
+	// TmaxFactor × Dmin with Dmin measured by a min-delay sizing pass.
+	TmaxPs     float64 `json:"tmax_ps,omitempty"`
+	TmaxFactor float64 `json:"tmax_factor,omitempty"` // default 1.3
+
+	YieldTarget    float64 `json:"yield_target,omitempty"`    // default 0.99
+	LeakPercentile float64 `json:"leak_percentile,omitempty"` // default 0.99
+	CornerSigma    float64 `json:"corner_sigma,omitempty"`    // default 3.0
+	MaxMoves       int     `json:"max_moves,omitempty"`
+
+	// DisableVth / DisableSizing shrink the move set (both enabled by
+	// default; inverted sense so the zero value means "full move set").
+	DisableVth    bool `json:"disable_vth,omitempty"`
+	DisableSizing bool `json:"disable_sizing,omitempty"`
+
+	// LeakBudgetNW is the statistical leakage budget for the "dual"
+	// optimizer (required there, ignored elsewhere).
+	LeakBudgetNW float64 `json:"leak_budget_nw,omitempty"`
+
+	// MCSamples, when > 0, runs a final Monte Carlo scoreboard on the
+	// optimized design with the given seed (default seed 1).
+	MCSamples int   `json:"mc_samples,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+}
+
+// Validate checks the request shape without building anything.
+func (r *Request) Validate() error {
+	switch {
+	case r.Netlist == "" && r.Circuit == "":
+		return fmt.Errorf("need netlist or circuit")
+	case r.Netlist != "" && r.Circuit != "":
+		return fmt.Errorf("use netlist or circuit, not both")
+	}
+	switch r.Format {
+	case "", "bench", "verilog":
+	default:
+		return fmt.Errorf("unknown format %q (want bench or verilog)", r.Format)
+	}
+	switch r.Optimizer {
+	case "", "statistical", "deterministic", "anneal", "dual":
+	default:
+		return fmt.Errorf("unknown optimizer %q (want statistical, deterministic, anneal, or dual)", r.Optimizer)
+	}
+	if r.Optimizer == "dual" && r.LeakBudgetNW <= 0 {
+		return fmt.Errorf("optimizer dual needs leak_budget_nw > 0")
+	}
+	if r.TmaxPs < 0 || r.TmaxFactor < 0 {
+		return fmt.Errorf("tmax_ps and tmax_factor must be >= 0")
+	}
+	if r.TmaxFactor > 0 && r.TmaxFactor < 1 {
+		return fmt.Errorf("tmax_factor %g must be >= 1 (a multiple of the minimum delay)", r.TmaxFactor)
+	}
+	if r.MCSamples < 0 || r.MaxMoves < 0 {
+		return fmt.Errorf("mc_samples and max_moves must be >= 0")
+	}
+	if _, err := tech.Preset(r.preset()); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (r *Request) preset() string {
+	if r.Preset == "" {
+		return "100nm"
+	}
+	return r.Preset
+}
+
+func (r *Request) optimizer() string {
+	if r.Optimizer == "" {
+		return "statistical"
+	}
+	return r.Optimizer
+}
+
+// options maps the request onto opt.Options.
+func (r *Request) options(tmaxPs float64) opt.Options {
+	o := opt.DefaultOptions(tmaxPs)
+	if r.YieldTarget > 0 {
+		o.YieldTarget = r.YieldTarget
+	}
+	if r.LeakPercentile > 0 {
+		o.LeakPercentile = r.LeakPercentile
+	}
+	if r.CornerSigma > 0 {
+		o.CornerSigma = r.CornerSigma
+	}
+	o.EnableVth = !r.DisableVth
+	o.EnableSizing = !r.DisableSizing
+	o.MaxMoves = r.MaxMoves
+	return o
+}
+
+// Snapshot is the live progress view of a running job, published by
+// the optimizer's Progress callback and read by GET /v1/jobs/{id}.
+type Snapshot struct {
+	Phase       string  `json:"phase,omitempty"`
+	Moves       int     `json:"moves"`
+	BestLeakQNW float64 `json:"best_leak_q_nw,omitempty"` // lowest objective-percentile leakage seen [nW]
+	Yield       float64 `json:"yield,omitempty"`          // last reported timing yield at Tmax
+}
+
+// MCOutcome is the optional final Monte Carlo scoreboard.
+type MCOutcome struct {
+	Samples      int     `json:"samples"`
+	TimingYield  float64 `json:"timing_yield"`
+	LeakMeanNW   float64 `json:"leak_mean_nw"`
+	LeakQ99NW    float64 `json:"leak_q99_nw"`
+	DelayMeanPs  float64 `json:"delay_mean_ps"`
+	DelayQEtaPs  float64 `json:"delay_q_eta_ps"`
+	YieldTargetQ float64 `json:"yield_target_q"`
+}
+
+// DualOutcome carries the dual-optimizer-specific result fields.
+type DualOutcome struct {
+	BudgetNW   float64 `json:"budget_nw"`
+	DelayQPs   float64 `json:"delay_q_ps"`
+	SwapsToLVT int     `json:"swaps_to_lvt"`
+}
+
+// Outcome is a finished job's result payload.
+type Outcome struct {
+	Optimizer string  `json:"optimizer"`
+	Circuit   string  `json:"circuit"`
+	Gates     int     `json:"gates"`
+	TmaxPs    float64 `json:"tmax_ps"`
+	Feasible  bool    `json:"feasible"`
+
+	Moves     int `json:"moves"`
+	SizeUps   int `json:"size_ups"`
+	VthSwaps  int `json:"vth_swaps"`
+	SizeDowns int `json:"size_downs"`
+
+	YieldAtTmax    float64 `json:"yield_at_tmax"`
+	LeakMeanNW     float64 `json:"leak_mean_nw"`
+	LeakPctNW      float64 `json:"leak_pct_nw"`
+	NominalLeakNW  float64 `json:"nominal_leak_nw"`
+	DelayMeanPs    float64 `json:"delay_mean_ps"`
+	DelaySigmaPs   float64 `json:"delay_sigma_ps"`
+	NominalDelayPs float64 `json:"nominal_delay_ps"`
+
+	RuntimeSec float64      `json:"runtime_sec"`
+	MC         *MCOutcome   `json:"mc,omitempty"`
+	Dual       *DualOutcome `json:"dual,omitempty"`
+}
+
+// Job is one queued/running/finished optimization. All mutable fields
+// are guarded by mu; the immutable ones (ID, Req, Created) are set
+// before the job is published.
+type Job struct {
+	ID      string
+	Req     Request
+	Created time.Time
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	snapshot Snapshot
+	outcome  *Outcome
+	errMsg   string
+	cancel   context.CancelFunc
+	expires  time.Time
+}
+
+// Status is the JSON view of a job's lifecycle for the API.
+type Status struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	Progress Snapshot  `json:"progress"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// status snapshots the job under its lock.
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:       j.ID,
+		State:    j.state,
+		Created:  j.Created,
+		Started:  j.started,
+		Finished: j.finished,
+		Progress: j.snapshot,
+		Error:    j.errMsg,
+	}
+}
+
+// observe is the opt.Options.Progress sink: it folds an optimizer
+// snapshot into the job's live view. Called synchronously from the
+// worker goroutine running the job.
+func (j *Job) observe(ev opt.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.snapshot.Phase = ev.Phase
+	j.snapshot.Moves = ev.Moves
+	if ev.LeakQNW > 0 && (j.snapshot.BestLeakQNW <= 0 || ev.LeakQNW < j.snapshot.BestLeakQNW) {
+		j.snapshot.BestLeakQNW = ev.LeakQNW
+	}
+	if ev.Yield > 0 {
+		j.snapshot.Yield = ev.Yield
+	}
+}
+
+// buildDesign constructs the job's private design from the request.
+func buildDesign(r *Request) (*core.Design, string, error) {
+	var (
+		c    *logic.Circuit
+		err  error
+		name = r.Name
+	)
+	switch {
+	case r.Circuit != "":
+		if name == "" {
+			name = r.Circuit
+		}
+		if cfg, cerr := bench.SuiteConfig(r.Circuit); cerr == nil {
+			c, err = bench.Generate(cfg)
+		} else if scfg, serr := bench.SeqSuiteConfig(r.Circuit); serr == nil {
+			c, err = bench.GenerateSeq(scfg)
+		} else {
+			err = serr
+		}
+	case strings.EqualFold(r.Format, "verilog"):
+		if name == "" {
+			name = "netlist"
+		}
+		c, err = verilog.ParseString(r.Netlist)
+	default:
+		if name == "" {
+			name = "netlist"
+		}
+		c, err = bench.ParseString(name, r.Netlist)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := tech.Preset(r.preset())
+	if err != nil {
+		return nil, "", err
+	}
+	lib, err := tech.NewLibrary(p)
+	if err != nil {
+		return nil, "", err
+	}
+	vm, err := variation.New(variation.Default(p.LeffNom))
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := core.NewDesign(c, lib, vm)
+	if err != nil {
+		return nil, "", err
+	}
+	return d, name, nil
+}
+
+// execute runs the optimization for one job on the worker goroutine.
+// Everything it touches is job-local; ctx cancellation propagates to
+// the optimizer loops and the Monte Carlo pool.
+func execute(ctx context.Context, job *Job) (*Outcome, error) {
+	r := &job.Req
+	d, name, err := buildDesign(r)
+	if err != nil {
+		return nil, err
+	}
+	tmax := r.TmaxPs
+	if tmax <= 0 {
+		factor := r.TmaxFactor
+		if factor <= 0 {
+			factor = 1.3
+		}
+		dmin, err := opt.MinimumDelayCtx(ctx, d.Clone())
+		if err != nil {
+			return nil, err
+		}
+		tmax = factor * dmin
+	}
+	o := r.options(tmax)
+	o.Progress = job.observe
+
+	out := &Outcome{
+		Optimizer: r.optimizer(),
+		Circuit:   name,
+		Gates:     d.Circuit.NumGates(),
+		TmaxPs:    tmax,
+	}
+	fill := func(sr *opt.StatResult) {
+		out.Feasible = sr.Feasible
+		out.Moves = sr.Moves
+		out.SizeUps = sr.SizeUps
+		out.VthSwaps = sr.VthSwaps
+		out.SizeDowns = sr.SizeDowns
+		out.YieldAtTmax = sr.YieldAtTmax
+		out.LeakMeanNW = sr.LeakMeanNW
+		out.LeakPctNW = sr.LeakPctNW
+		out.NominalLeakNW = sr.NominalLeakNW
+		out.DelayMeanPs = sr.DelayMeanPs
+		out.DelaySigmaPs = sr.DelaySigmaPs
+		out.NominalDelayPs = sr.NominalDelayPs
+		out.RuntimeSec = sr.Runtime.Seconds()
+	}
+	switch out.Optimizer {
+	case "statistical":
+		sr, err := opt.StatisticalCtx(ctx, d, o)
+		if err != nil {
+			return nil, err
+		}
+		fill(sr)
+	case "deterministic":
+		dr, err := opt.DeterministicCtx(ctx, d, o)
+		if err != nil {
+			return nil, err
+		}
+		// Put the corner flow on the same statistical scoreboard.
+		sr, err := opt.EvaluateStatistical(d, o)
+		if err != nil {
+			return nil, err
+		}
+		sr.Result = *dr
+		fill(sr)
+	case "anneal":
+		cfg := opt.DefaultAnnealConfig()
+		if r.Seed != 0 {
+			cfg.Seed = r.Seed
+		}
+		sr, err := opt.AnnealCtx(ctx, d, o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fill(sr)
+	case "dual":
+		dr, err := opt.MinimizeDelayUnderLeakBudgetCtx(ctx, d, o, r.LeakBudgetNW)
+		if err != nil {
+			return nil, err
+		}
+		out.Feasible = dr.Feasible
+		out.Moves = dr.Moves
+		out.SizeUps = dr.SizeUps
+		out.VthSwaps = dr.SwapsToLVT
+		out.LeakPctNW = dr.LeakPctNW
+		out.NominalLeakNW = d.TotalLeak()
+		out.RuntimeSec = dr.Runtime.Seconds()
+		out.Dual = &DualOutcome{BudgetNW: dr.BudgetNW, DelayQPs: dr.DelayQPs, SwapsToLVT: dr.SwapsToLVT}
+	}
+	if r.MCSamples > 0 {
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		mc, err := montecarlo.RunCtx(ctx, d, montecarlo.Config{Samples: r.MCSamples, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		eta := o.YieldTarget
+		out.MC = &MCOutcome{
+			Samples:      r.MCSamples,
+			TimingYield:  mc.TimingYield(tmax),
+			LeakMeanNW:   mc.LeakSummary().Mean,
+			LeakQ99NW:    mc.LeakQuantile(0.99),
+			DelayMeanPs:  mc.DelaySummary().Mean,
+			DelayQEtaPs:  mc.DelayQuantile(eta),
+			YieldTargetQ: eta,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Service-layer instrumentation (see internal/obs): queue pressure,
+// throughput by terminal state, and job latency. Queue depth and
+// running counts are gauges refreshed on every transition, so
+// /metrics scrapes see the live values without touching the queue.
+var (
+	metJobsSubmitted = obs.Default.Counter("statleak_jobs_submitted_total",
+		"optimization jobs accepted into the queue")
+	metJobsFinished = obs.Default.CounterVec("statleak_jobs_finished_total",
+		"jobs reaching a terminal state", "state")
+	metQueueDepth = obs.Default.Gauge("statleak_job_queue_depth",
+		"jobs waiting for a worker")
+	metJobsRunning = obs.Default.Gauge("statleak_jobs_running",
+		"jobs currently executing")
+	metJobSeconds = obs.Default.Histogram("statleak_job_run_seconds",
+		"wall-clock latency of finished jobs (running time only)", nil)
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 503.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Config sizes the manager.
+type Config struct {
+	// Workers is the number of concurrent optimization runs (default 2).
+	Workers int
+	// QueueDepth bounds the pending backlog (default 16).
+	QueueDepth int
+	// ResultTTL is how long a terminal job stays fetchable (default
+	// 15 min). The janitor evicts expired jobs.
+	ResultTTL time.Duration
+	// Log receives job lifecycle events (nil ⇒ silent).
+	Log *obs.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// Manager owns the job queue, the worker pool, and the TTL'd result
+// store. All jobs run on designs built inside the worker from the
+// request payload, so workers share no optimizer state.
+type Manager struct {
+	cfg Config
+	log *obs.Logger
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int
+	closed bool
+
+	queue       chan *Job
+	wg          sync.WaitGroup // workers only
+	janitorDone chan struct{}
+}
+
+// NewManager starts the worker pool and the janitor.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		log:        cfg.Log,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		janitorDone: make(chan struct{}),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	go m.janitor()
+	return m
+}
+
+// Submit validates and enqueues a job, returning it in StatePending.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%06d", m.nextID),
+		Req:     req,
+		Created: time.Now(),
+		state:   StatePending,
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.mu.Unlock()
+	metJobsSubmitted.Inc()
+	metQueueDepth.Set(float64(len(m.queue)))
+	m.log.Info("job submitted", "id", job.ID, "optimizer", req.optimizer(), "circuit", req.Circuit)
+	return job, nil
+}
+
+// Get returns the job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all live (non-evicted) jobs, oldest first.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cancel requests cancellation. A pending job flips straight to
+// cancelled (the worker skips it when it surfaces); a running job has
+// its context cancelled and the worker records the terminal state.
+// Returns the job's state after the call and whether the ID exists.
+func (m *Manager) Cancel(id string) (State, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return "", false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StatePending:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.expires = j.finished.Add(m.cfg.ResultTTL)
+		j.mu.Unlock()
+		metJobsFinished.With(string(StateCancelled)).Inc()
+		m.log.Info("job cancelled while pending", "id", id)
+		return StateCancelled, true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		st := j.state
+		j.mu.Unlock()
+		m.log.Info("job cancellation requested", "id", id)
+		return st, true
+	default:
+		st := j.state
+		j.mu.Unlock()
+		return st, true
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		metQueueDepth.Set(float64(len(m.queue)))
+		m.runJob(job)
+	}
+}
+
+// runJob drives one job through running → terminal.
+func (m *Manager) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state != StatePending { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.mu.Unlock()
+	metJobsRunning.Add(1)
+	m.log.Info("job started", "id", job.ID)
+
+	out, err := execute(ctx, job)
+
+	now := time.Now()
+	job.mu.Lock()
+	job.finished = now
+	job.expires = now.Add(m.cfg.ResultTTL)
+	job.cancel = nil
+	var final State
+	switch {
+	case err == nil:
+		final = StateDone
+		job.outcome = out
+	case errors.Is(err, context.Canceled):
+		final = StateCancelled
+		job.errMsg = "cancelled"
+	default:
+		final = StateFailed
+		job.errMsg = err.Error()
+	}
+	job.state = final
+	elapsed := now.Sub(job.started)
+	job.mu.Unlock()
+
+	metJobsRunning.Add(-1)
+	metJobsFinished.With(string(final)).Inc()
+	metJobSeconds.Observe(elapsed.Seconds())
+	if err != nil {
+		m.log.Warn("job finished", "id", job.ID, "state", string(final), "err", err.Error())
+	} else {
+		m.log.Info("job finished", "id", job.ID, "state", string(final), "sec", fmt.Sprintf("%.3f", elapsed.Seconds()))
+	}
+}
+
+// janitor evicts expired terminal jobs so the result store is bounded
+// by throughput × TTL.
+func (m *Manager) janitor() {
+	defer close(m.janitorDone)
+	tick := time.NewTicker(m.cfg.ResultTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case now := <-tick.C:
+			m.mu.Lock()
+			for id, j := range m.jobs {
+				j.mu.Lock()
+				dead := j.state.terminal() && !j.expires.IsZero() && now.After(j.expires)
+				j.mu.Unlock()
+				if dead {
+					delete(m.jobs, id)
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Shutdown stops accepting jobs, lets queued and running work drain,
+// and — if ctx expires first — cancels everything still running and
+// waits for the workers to observe it. It returns ctx.Err() when the
+// drain deadline forced cancellation, nil on a clean drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Cancel the janitor (and, on deadline, every running job), then
+	// wait for full quiescence either way.
+	m.baseCancel()
+	<-done
+	<-m.janitorDone
+	return err
+}

@@ -6,6 +6,18 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// Instrumentation: incremental-vs-full retiming volume (see
+// internal/obs and DESIGN.md §"Service layer"). The full-analysis
+// counter lives in Analyze (ssta.go); together they expose the
+// engine's cone-pruning win as a ratio any scraper can graph.
+var (
+	metIncUpdates = obs.Default.Counter("statleak_ssta_incremental_updates_total",
+		"incremental (cone-local) retimings performed")
+	metIncNodes = obs.Default.Counter("statleak_ssta_incremental_nodes_retimed_total",
+		"nodes re-evaluated across all incremental retimings")
 )
 
 // Incremental maintains a statistical timing view of a design and
@@ -138,6 +150,8 @@ func (inc *Incremental) Update(changed ...int) int {
 		}
 	}
 	inc.refold()
+	metIncUpdates.Inc()
+	metIncNodes.Add(uint64(visited))
 	return visited
 }
 

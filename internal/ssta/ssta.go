@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -44,9 +45,16 @@ func GateDelayCanonical(d *core.Design, id int) Canonical {
 	return c
 }
 
+// metFull counts full block-based analyses; its ratio to
+// statleak_ssta_incremental_updates_total is the incremental timer's
+// amortization factor.
+var metFull = obs.Default.Counter("statleak_ssta_full_analyses_total",
+	"full block-based SSTA runs (initial builds and periodic refreshes)")
+
 // Analyze runs block-based SSTA over the design and returns the
 // canonical arrival forms and the circuit-delay form.
 func Analyze(d *core.Design) (*Result, error) {
+	metFull.Inc()
 	order, err := d.Circuit.TopoOrder()
 	if err != nil {
 		return nil, err

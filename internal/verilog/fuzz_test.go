@@ -1,0 +1,51 @@
+package verilog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseVerilog asserts that Parse never panics on arbitrary input
+// and that any module it accepts round-trips through Write with the
+// structural counts preserved.
+func FuzzParseVerilog(f *testing.F) {
+	f.Add(`module top (a, b, y);
+  input a, b;
+  output y;
+  nand g1 (y, a, b);
+endmodule
+`)
+	f.Add(`module seq (d, q);
+  input d;
+  output q;
+  wire n1;
+  not g1 (n1, d);
+  dff g2 (q, n1);
+endmodule
+`)
+	f.Add("module m (")
+	f.Add("// comment only\n")
+	f.Add("/* unterminated")
+	f.Add("module m (a); input a; endmodule")
+	f.Add("module m (y); output y; xor g (y, y, y); endmodule")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("Write of accepted module failed: %v\ninput: %q", err, src)
+		}
+		c2, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\ninput: %q\nwrote: %q", err, src, buf.String())
+		}
+		if c2.NumGates() != c.NumGates() || c2.NumInputs() != c.NumInputs() || c2.NumOutputs() != c.NumOutputs() {
+			t.Fatalf("round-trip changed structure: %d/%d/%d -> %d/%d/%d\ninput: %q",
+				c.NumGates(), c.NumInputs(), c.NumOutputs(),
+				c2.NumGates(), c2.NumInputs(), c2.NumOutputs(), src)
+		}
+	})
+}

@@ -19,6 +19,7 @@
 package verilog
 
 import (
+	"container/heap"
 	"fmt"
 	"io"
 	"sort"
@@ -27,6 +28,23 @@ import (
 
 	"repro/internal/logic"
 )
+
+// indexHeap is a min-heap of pending-slice indices, so dependency
+// resolution processes instances in file order whenever possible and
+// gate IDs stay stable for already-topologically-ordered netlists.
+type indexHeap []int
+
+func (h indexHeap) Len() int            { return len(h) }
+func (h indexHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h indexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *indexHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *indexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
 
 // token kinds
 type tokKind uint8
@@ -293,41 +311,65 @@ func build(name string, inputs, outputs []string, insts []instance) (*logic.Circ
 		}
 		pending = append(pending, inst)
 	}
-	for len(pending) > 0 {
-		progressed := false
-		var next []instance
-		for _, inst := range pending {
-			if len(inst.ports) < 2 {
-				return nil, fmt.Errorf("verilog: line %d: %s needs an output and inputs", inst.line, inst.prim)
-			}
-			ready := true
-			ids := make([]int, 0, len(inst.ports)-1)
-			for _, a := range inst.ports[1:] {
-				g, ok := c.GateByName(a)
-				if !ok {
-					ready = false
-					break
-				}
-				ids = append(ids, g.ID)
-			}
-			if !ready {
-				next = append(next, inst)
-				continue
-			}
-			ty, err := logic.GateTypeForFunction(inst.prim, len(ids))
-			if err != nil {
-				return nil, fmt.Errorf("verilog: line %d: %v", inst.line, err)
-			}
-			if _, err := c.AddGate(inst.ports[0], ty, ids...); err != nil {
-				return nil, fmt.Errorf("verilog: line %d: %v", inst.line, err)
-			}
-			progressed = true
+	// Kahn-style resolution (see bench.Parse): each pending instance
+	// counts its not-yet-defined input nets, and adding a gate wakes
+	// exactly the instances waiting on that net name. Linear in
+	// instances + ports where a retry-until-fixpoint sweep is quadratic
+	// on reverse-ordered netlists.
+	waiting := make(map[string][]int)
+	missing := make([]int, len(pending))
+	queue := &indexHeap{}
+	for i, inst := range pending {
+		if len(inst.ports) < 2 {
+			return nil, fmt.Errorf("verilog: line %d: %s needs an output and inputs", inst.line, inst.prim)
 		}
-		if !progressed {
-			return nil, fmt.Errorf("verilog: %d instances have undefined or cyclic operands (first: %q line %d)",
-				len(next), next[0].name, next[0].line)
+		for _, a := range inst.ports[1:] {
+			if _, ok := c.GateByName(a); !ok {
+				waiting[a] = append(waiting[a], i)
+				missing[i]++
+			}
 		}
-		pending = next
+		if missing[i] == 0 {
+			heap.Push(queue, i)
+		}
+	}
+	added := 0
+	done := make([]bool, len(pending))
+	for queue.Len() > 0 {
+		i := heap.Pop(queue).(int)
+		inst := pending[i]
+		ids := make([]int, 0, len(inst.ports)-1)
+		for _, a := range inst.ports[1:] {
+			g, ok := c.GateByName(a)
+			if !ok {
+				return nil, fmt.Errorf("verilog: line %d: net %q undefined", inst.line, a)
+			}
+			ids = append(ids, g.ID)
+		}
+		ty, err := logic.GateTypeForFunction(inst.prim, len(ids))
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: %v", inst.line, err)
+		}
+		if _, err := c.AddGate(inst.ports[0], ty, ids...); err != nil {
+			return nil, fmt.Errorf("verilog: line %d: %v", inst.line, err)
+		}
+		added++
+		done[i] = true
+		for _, w := range waiting[inst.ports[0]] {
+			missing[w]--
+			if missing[w] == 0 {
+				heap.Push(queue, w)
+			}
+		}
+		delete(waiting, inst.ports[0])
+	}
+	if added != len(pending) {
+		for i, inst := range pending {
+			if !done[i] {
+				return nil, fmt.Errorf("verilog: %d instances have undefined or cyclic operands (first: %q line %d)",
+					len(pending)-added, inst.name, inst.line)
+			}
+		}
 	}
 	for _, dc := range dconns {
 		g, ok := c.GateByName(dc.d)
