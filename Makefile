@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint build test race bench fuzz daemon
+.PHONY: ci lint vet statleaklint build test race bench bench-json experiments-output fuzz daemon
 
 ci: lint build test race fuzz
 
@@ -30,9 +30,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates the evaluation (see bench_test.go / DESIGN.md §5).
+# bench runs every benchmark in the repository: the root evaluation
+# harness (bench_test.go / DESIGN.md §5) plus the package-level
+# micro-benchmarks (engine round scoring and worker resync, …).
+# BENCHTIME=1x bench for a one-iteration smoke pass.
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./...
+
+# bench-json runs the same sweep and renders the `go test -bench`
+# output as machine-readable JSON (cmd/benchjson), the artifact CI
+# uploads for regression tracking.
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_4.json
+
+# experiments-output regenerates the committed sample of the
+# experiment driver's output (reduced configuration, deterministic).
+experiments-output:
+	$(GO) run ./cmd/experiments -benchmarks s432,s880 -samples 500 > experiments_output.txt
 
 # fuzz smoke: a short randomized pass over both netlist parsers.
 # FUZZTIME=5m fuzz for a longer hunt; corpus accumulates in GOCACHE.

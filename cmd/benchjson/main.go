@@ -1,0 +1,52 @@
+// benchjson converts `go test -bench -benchmem` text output (read on
+// stdin) into a machine-readable JSON artifact for regression
+// tracking. It is a tee: every input line is echoed to stdout so
+// `make bench-json` still shows the live benchmark stream, while the
+// parsed results land in the -out file.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -out BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("out", "", "path for the JSON artifact (default: stdout only)")
+	flag.Parse()
+
+	report, err := benchjson.Parse(benchjson.Tee(bufio.NewScanner(os.Stdin), os.Stdout))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(report.Benchmarks), *out)
+}

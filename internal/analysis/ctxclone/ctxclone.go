@@ -14,6 +14,17 @@
 // ssta.Incremental, leakage.Accumulator) unless the use is a call
 // into the clone path or a read of immutable context fields
 // (Design.Circuit/Lib/Var, Engine.cfg).
+//
+// The search-driver rewrite (PR 4) extends the same capture
+// discipline to search.Policy callbacks. A policy closure that
+// captures a *core.Design outlives every commit, revert and Refresh
+// the driver performs between calls, so the pointer is a standing
+// invitation to read state the engine is mid-way through changing.
+// The sanctioned handle is the *engine.Engine itself: a callback that
+// needs design state calls e.Design() at call time (and gets the
+// post-commit view the engine vouches for). Rebinding a captured
+// variable — bestState = d.Clone() incumbent bookkeeping — stays
+// legal: writing the variable is not touching shared state.
 package ctxclone
 
 import (
@@ -60,10 +71,24 @@ var ImmutableFields = map[typeKey]map[string]bool{
 	{"repro/internal/engine", "Engine"}: {"cfg": true},
 }
 
+// PolicyPath/PolicyType identify the search-policy struct whose
+// callback literals get the capture discipline, and PolicyHandle the
+// one shared type they may capture: the engine, whose accessors are
+// the sanctioned window onto evaluation state.
+var (
+	PolicyPath   = "repro/internal/search"
+	PolicyType   = "Policy"
+	PolicyHandle = typeKey{"repro/internal/engine", "Engine"}
+)
+
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue
+		}
+		policyLits := analysis.CompositeFuncLits(pass, f, PolicyPath, PolicyType)
+		for lit := range policyLits {
+			checkCaptures(pass, lit, policyMode)
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
@@ -71,7 +96,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			if lit, ok := analysis.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
-				checkWorker(pass, lit)
+				checkCaptures(pass, lit, workerMode)
 			}
 			return true
 		})
@@ -96,9 +121,23 @@ func sharedKey(t types.Type) typeKey {
 	return k
 }
 
-// checkWorker flags captured shared state used outside the clone path
-// inside one `go func` closure.
-func checkWorker(pass *analysis.Pass, lit *ast.FuncLit) {
+// checkMode selects which closure contract checkCaptures enforces.
+type checkMode int
+
+const (
+	// workerMode: a `go func` pool worker. Captured shared state is a
+	// data race; only the clone path and immutable context are safe.
+	workerMode checkMode = iota
+	// policyMode: a search.Policy callback. Single-goroutine, but the
+	// closure outlives every commit/revert/Refresh between calls, so
+	// captured evaluation state goes stale; the engine handle is the
+	// sanctioned window, and rebinding a captured variable is legal.
+	policyMode
+)
+
+// checkCaptures flags captured shared state used outside the clone
+// path inside one closure.
+func checkCaptures(pass *analysis.Pass, lit *ast.FuncLit, mode checkMode) {
 	reported := make(map[token.Pos]bool)
 	analysis.WithStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -125,13 +164,49 @@ func checkWorker(pass *analysis.Pass, lit *ast.FuncLit) {
 		if key == (typeKey{}) {
 			return true
 		}
+		if mode == policyMode {
+			if key == PolicyHandle {
+				return true
+			}
+			if rebinding(id, stack) {
+				return true
+			}
+		}
 		if allowedUse(pass, key, id, stack) {
 			return true
 		}
 		reported[id.Pos()] = true
-		pass.Reportf(id.Pos(), "worker goroutine captures shared %s.%s %q: route it through the engine clone path (Clone/CloneFor) or snapshot immutable context before the fan-out", shortPath(key.path), key.name, id.Name)
+		switch mode {
+		case policyMode:
+			pass.Reportf(id.Pos(), "search policy captures shared %s.%s %q: read evaluation state through the engine handle at call time (e.Design()) instead of holding a pointer across rounds", shortPath(key.path), key.name, id.Name)
+		default:
+			pass.Reportf(id.Pos(), "worker goroutine captures shared %s.%s %q: route it through the engine clone path (Clone/CloneFor) or snapshot immutable context before the fan-out", shortPath(key.path), key.name, id.Name)
+		}
 		return true
 	})
+}
+
+// rebinding reports whether id is itself an assignment target:
+// overwriting the captured variable (incumbent bookkeeping like
+// bestState = d.Clone()) touches the variable, not the shared state
+// it previously pointed to.
+func rebinding(id *ast.Ident, stack []ast.Node) bool {
+	cur := ast.Expr(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = parent
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
 }
 
 func shortPath(path string) string {

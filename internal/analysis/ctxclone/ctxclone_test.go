@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtxClone(t *testing.T) {
-	analysistest.Run(t, ctxclone.Analyzer, "a", "clean")
+	analysistest.Run(t, ctxclone.Analyzer, "a", "clean", "policy")
 }

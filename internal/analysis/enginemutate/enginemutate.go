@@ -12,6 +12,17 @@
 // internal/engine, and also flags capturing the raw slices (which
 // would enable the same unchecked mutation one step removed). Reads —
 // d.Vth[i] in an expression, ranging, len — stay free.
+//
+// The search-driver rewrite (PR 4) tightens the rule further where the
+// engine's caches are guaranteed live: inside internal/search itself,
+// and inside the callbacks of a search.Policy composite literal, even
+// core's validating setters (SetVth, SetSize, SetSizeIndex,
+// CopyAssignmentFrom) are forbidden — they keep the Design
+// self-consistent but still bypass the engine's move log, journals and
+// worker replay. A policy mutates the design only by returning moves
+// for the driver to apply. Setter calls in ordinary optimizer code
+// (preparing a start point before the engine exists, restoring an
+// incumbent before a Refresh) stay legal.
 package enginemutate
 
 import (
@@ -39,16 +50,35 @@ var (
 		"repro/internal/core":   true,
 		"repro/internal/engine": true,
 	}
+	// MutatorMethods are core.Design's validating setters: safe for the
+	// design, invisible to a live engine.
+	MutatorMethods = map[string]bool{
+		"SetVth":             true,
+		"SetSize":            true,
+		"SetSizeIndex":       true,
+		"CopyAssignmentFrom": true,
+	}
+	// RestrictedPkgs run with a live engine throughout, so even the
+	// validating setters are forbidden there.
+	RestrictedPkgs = map[string]bool{
+		"repro/internal/search": true,
+	}
+	// PolicyPath/PolicyType identify the search-policy struct whose
+	// callbacks get the same restriction in any package.
+	PolicyPath = "repro/internal/search"
+	PolicyType = "Policy"
 )
 
 func run(pass *analysis.Pass) error {
 	if ExemptPkgs[pass.Pkg.Path()] {
 		return nil
 	}
+	restricted := RestrictedPkgs[pass.Pkg.Path()]
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue
 		}
+		policyLits := analysis.CompositeFuncLits(pass, f, PolicyPath, PolicyType)
 		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
@@ -65,11 +95,54 @@ func run(pass *analysis.Pass) error {
 				if fld := bareField(pass, n); fld != "" && aliasing(stack, n) {
 					pass.Reportf(n.Pos(), "aliasing core.Design.%s exposes the assignment state to unchecked mutation; index it in place or go through the engine", fld)
 				}
+			case *ast.CallExpr:
+				if m := mutatorCall(pass, n); m != "" && (restricted || inPolicyLit(stack, policyLits)) {
+					pass.Reportf(n.Pos(), "core.Design.%s bypasses the live engine's move log and worker replay: a search policy mutates the design only by returning engine moves", m)
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// mutatorCall reports which guarded setter call is a direct
+// invocation of a core.Design mutator method; "" otherwise.
+func mutatorCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !MutatorMethods[sel.Sel.Name] {
+		return ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if named.Obj().Pkg().Path() != DesignPath || named.Obj().Name() != DesignType {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// inPolicyLit reports whether the node whose ancestor stack is given
+// lies inside one of the file's search.Policy callback literals.
+func inPolicyLit(stack []ast.Node, lits map[*ast.FuncLit]bool) bool {
+	if len(lits) == 0 {
+		return false
+	}
+	for _, n := range stack {
+		if fl, ok := n.(*ast.FuncLit); ok && lits[fl] {
+			return true
+		}
+	}
+	return false
 }
 
 // assignmentField reports which guarded field lhs writes into:

@@ -8,5 +8,9 @@ import (
 )
 
 func TestEngineMutate(t *testing.T) {
-	analysistest.Run(t, enginemutate.Analyzer, "a", "clean")
+	// The restricted fixture stands in for internal/search: its package
+	// path is registered so the setter ban applies at any scope.
+	enginemutate.RestrictedPkgs["restricted"] = true
+	defer delete(enginemutate.RestrictedPkgs, "restricted")
+	analysistest.Run(t, enginemutate.Analyzer, "a", "clean", "policy", "restricted")
 }

@@ -1,0 +1,17 @@
+// Fixture: the search-driver package itself (the test registers this
+// fixture in RestrictedPkgs). The engine is live for the package's
+// whole life, so even the validating setters are forbidden at any
+// scope; reads stay free.
+package restricted
+
+import (
+	"repro/internal/core"
+	"repro/internal/tech"
+)
+
+func repair(d *core.Design) error {
+	if d.Vth[0] == tech.LowVth { // a read: fine anywhere
+		return d.SetVth(0, tech.HighVth) // want `core\.Design\.SetVth bypasses the live engine's move log`
+	}
+	return d.SetSizeIndex(0, 1) // want `core\.Design\.SetSizeIndex bypasses the live engine's move log`
+}

@@ -1,6 +1,9 @@
 package analysis
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/types"
+)
 
 // WithStack walks root in depth-first order, calling fn for every node
 // with the stack of its ancestors (outermost first, root included,
@@ -32,4 +35,49 @@ func Unparen(e ast.Expr) ast.Expr {
 		}
 		e = p.X
 	}
+}
+
+// CompositeFuncLits collects the function literals bound (directly or
+// through parens) to fields of composite literals of the named type
+// path.name anywhere in f. Several analyzers use it to give the
+// callbacks of a configuration struct — e.g. search.Policy — stricter
+// scrutiny than ordinary code: such literals are the registration
+// point where a closure's captures become long-lived driver state.
+func CompositeFuncLits(p *Pass, f *ast.File, path, name string) map[*ast.FuncLit]bool {
+	var out map[*ast.FuncLit]bool
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := p.TypesInfo.Types[cl]
+		if !ok {
+			return true
+		}
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return true
+		}
+		if named.Obj().Pkg().Path() != path || named.Obj().Name() != name {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			e := ast.Expr(elt)
+			if kv, ok := e.(*ast.KeyValueExpr); ok {
+				e = kv.Value
+			}
+			if fl, ok := Unparen(e).(*ast.FuncLit); ok {
+				if out == nil {
+					out = make(map[*ast.FuncLit]bool)
+				}
+				out[fl] = true
+			}
+		}
+		return true
+	})
+	return out
 }

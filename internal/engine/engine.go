@@ -18,9 +18,11 @@
 //     (the deterministic optimizer) never pays for SSTA state.
 //   - Score evaluates a move's effect and puts the state back —
 //     net-zero by construction. ScoreAll fans independent candidates
-//     out over a bounded worker pool, each worker on a cloned thin
-//     evaluation context (Design.Clone + Accumulator.CloneFor +
-//     Incremental.CloneFor), so scoring parallelizes without locking.
+//     out over a bounded pool of persistent per-worker evaluation
+//     contexts, resynced between rounds by replaying committed moves
+//     and journal-restored after each round (see worker.go), so
+//     scoring parallelizes without locking and without re-cloning the
+//     netlist every round.
 package engine
 
 import (
@@ -117,6 +119,13 @@ type Engine struct {
 	cornerTmax float64
 
 	sinceRefresh int
+
+	// Persistent scoring workers (see worker.go): committed moves are
+	// logged while workers are live so each ScoreAll resyncs them by
+	// replay; a Refresh bumps gen, invalidating replay.
+	workers []*scoreWorker
+	log     []logOp
+	gen     int
 }
 
 // New wraps a design. The engine does not copy d: moves applied
@@ -173,6 +182,7 @@ func (e *Engine) Apply(m Move) error {
 		return err
 	}
 	metApplied.Inc()
+	e.logMove(m, false)
 	return e.noteChange(m.Gate())
 }
 
@@ -182,6 +192,7 @@ func (e *Engine) Revert(m Move) error {
 		return err
 	}
 	metReverted.Inc()
+	e.logMove(m, true)
 	return e.noteChange(m.Gate())
 }
 
@@ -205,12 +216,18 @@ func (e *Engine) noteChange(id int) error {
 }
 
 // Refresh rebuilds every live cache from the design's current state,
-// discarding accumulated floating-point drift.
+// discarding accumulated floating-point drift. It also invalidates the
+// persistent scoring workers (replaying moves onto rebuilt caches
+// would reintroduce the drift the rebuild just discarded), so this is
+// the one hook a caller who mutated the design directly must use
+// before the next ScoreAll.
 func (e *Engine) Refresh() error {
 	t0 := time.Now()
 	defer func() { metRefreshes.Observe(time.Since(t0).Seconds()) }()
 	e.corner = nil
 	e.sinceRefresh = 0
+	e.gen++
+	e.log = e.log[:0]
 	if e.inc != nil {
 		inc, err := ssta.NewIncremental(e.d)
 		if err != nil {

@@ -115,11 +115,12 @@ func (e *Engine) ScoreLocal(m Move) (Score, error) {
 
 // ScoreAll evaluates independent candidate moves in parallel with
 // exact scoring. Results are index-aligned with moves. Workers operate
-// on cloned thin contexts (Design.Clone + Accumulator.CloneFor +
-// Incremental.CloneFor), so the engine's state is untouched and the
-// call is race-free; determinism is preserved by chunked partitioning
-// (no work stealing) — every worker scores a contiguous, input-ordered
-// span from the same baseline state.
+// on persistent per-slot evaluation contexts that are resynced to the
+// engine's state by replaying committed moves (see worker.go) and
+// journal-restored when the call ends, so the engine's state is
+// untouched and the call is race-free; determinism is preserved by
+// chunked partitioning (no work stealing) — every worker scores a
+// contiguous, input-ordered span from the same baseline state.
 func (e *Engine) ScoreAll(moves []Move) ([]Score, error) {
 	return e.ScoreAllCtx(context.Background(), moves)
 }
@@ -180,9 +181,13 @@ func (e *Engine) scoreAll(ctx context.Context, moves []Move, exact bool) ([]Scor
 		}
 		return out, nil
 	}
+	if err := e.syncWorkers(workers, exact); err != nil {
+		return nil, err
+	}
 	errs := make([]error, workers)
 	chunk := (len(moves) + workers - 1) / workers
 	var wg sync.WaitGroup
+	used := 0
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -192,15 +197,18 @@ func (e *Engine) scoreAll(ctx context.Context, moves []Move, exact bool) ([]Scor
 		if lo >= hi {
 			break
 		}
+		wc := e.workers[w]
+		wc.acc.StartJournal()
+		var inc *ssta.Incremental
+		if exact {
+			inc = wc.inc
+			inc.StartJournal()
+		}
+		sc := e.newScoreCtx(wc.d, wc.acc, inc)
+		used = w + 1
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(sc *scoreCtx, w, lo, hi int) {
 			defer wg.Done()
-			dc := e.d.Clone()
-			var inc *ssta.Incremental
-			if exact {
-				inc = e.inc.CloneFor(dc)
-			}
-			sc := e.newScoreCtx(dc, e.acc.CloneFor(dc), inc)
 			for i := lo; i < hi; i++ {
 				if err := ctx.Err(); err != nil {
 					errs[w] = err
@@ -213,13 +221,31 @@ func (e *Engine) scoreAll(ctx context.Context, moves []Move, exact bool) ([]Scor
 				}
 				out[i] = s
 			}
-		}(w, lo, hi)
+		}(sc, w, lo, hi)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var firstErr error
+	for w := 0; w < used; w++ {
+		wc := e.workers[w]
+		// Restoring the journals puts each worker back bitwise to its
+		// pre-round state — exactly what discarding a per-call clone
+		// used to do.
+		wc.acc.RestoreJournal()
+		if exact {
+			wc.inc.RestoreJournal()
 		}
+		if errs[w] != nil {
+			// A failed apply/revert may have left the worker's design
+			// half-moved; the journals do not cover the design, so force
+			// a re-clone before this context scores again.
+			wc.dirty = true
+			if firstErr == nil {
+				firstErr = errs[w]
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/ssta"
+)
+
+// cloneScoreAll replicates the pre-persistent-worker ScoreAll: a fresh
+// clone of the engine's design and caches per worker per call, same
+// contiguous chunk partitioning, same parallel fan-out. It is the
+// throughput baseline the persistent workers are measured against.
+func cloneScoreAll(e *Engine, moves []Move, exact bool) ([]Score, error) {
+	workers := e.cfg.Workers
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	out := make([]Score, len(moves))
+	errs := make([]error, workers)
+	chunk := (len(moves) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(moves) {
+			hi = len(moves)
+		}
+		if lo >= hi {
+			break
+		}
+		dc := e.d.Clone()
+		var inc *ssta.Incremental
+		if exact {
+			inc = e.inc.CloneFor(dc)
+		}
+		sc := e.newScoreCtx(dc, e.acc.CloneFor(dc), inc)
+		wg.Add(1)
+		go func(sc *scoreCtx, w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s, err := sc.score(moves[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = s
+			}
+		}(sc, w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// benchRoundScoring measures optimizer-shaped scoring rounds on the
+// largest synthetic circuit: score a candidate batch in parallel, then
+// commit a couple of moves (the part the persistent workers must absorb
+// by replay before the next round).
+func benchRoundScoring(b *testing.B, persistent, exact bool, batch int) {
+	d, err := fixture.Suite("s7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Workers pinned (not NumCPU) so the fan-out — and the per-call
+	// clone cost it used to multiply — is exercised identically on any
+	// host.
+	e, err := New(d, Config{TmaxPs: 1000, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Build both caches up front so the loop measures steady state.
+	if _, err := e.DelayQuantile(0.99); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.LeakQuantile(0.99); err != nil {
+		b.Fatal(err)
+	}
+	ids := gateIDs(d)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var moves []Move
+		for len(moves) < batch {
+			if mv, ok := randomMove(d, ids, rng); ok {
+				moves = append(moves, mv)
+			}
+		}
+		if persistent {
+			if exact {
+				_, err = e.ScoreAll(moves)
+			} else {
+				_, err = e.ScoreAllLocal(moves)
+			}
+		} else {
+			err = e.ensureTiming() // cloneScoreAll assumes live caches
+			if err == nil {
+				_, err = cloneScoreAll(e, moves, exact)
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 2; k++ {
+			if mv, ok := randomMove(d, ids, rng); ok {
+				if err := e.Apply(mv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// benchWorkerResync isolates the per-round worker refresh the
+// persistent contexts exist to cheapen: commit two moves (excluded
+// from the timing), then bring all four worker contexts back in sync —
+// by replaying the committed moves (persistent path) or by the old
+// path's from-scratch clones of the engine state. Scoring work, being
+// identical in both designs, is deliberately absent.
+func benchWorkerResync(b *testing.B, persistent, exact bool) {
+	d, err := fixture.Suite("s7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// RefreshEvery -1: the periodic drift rebuild would force full
+	// resyncs on both paths at the same cadence; disabling it isolates
+	// the steady-state replay-vs-clone cost.
+	e, err := New(d, Config{TmaxPs: 1000, Workers: 4, RefreshEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.DelayQuantile(0.99); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.LeakQuantile(0.99); err != nil {
+		b.Fatal(err)
+	}
+	if persistent {
+		// Seed the worker slots so the loop measures steady-state resync.
+		if err := e.syncWorkers(4, exact); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ids := gateIDs(d)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := 0; k < 2; k++ {
+			if mv, ok := randomMove(d, ids, rng); ok {
+				if err := e.Apply(mv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StartTimer()
+		if persistent {
+			if err := e.syncWorkers(4, exact); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for w := 0; w < 4; w++ {
+				dc := e.d.Clone()
+				var inc *ssta.Incremental
+				if exact {
+					inc = e.inc.CloneFor(dc)
+				}
+				e.newScoreCtx(dc, e.acc.CloneFor(dc), inc)
+			}
+		}
+	}
+}
+
+func BenchmarkWorkerResyncReplayLocal(b *testing.B) { benchWorkerResync(b, true, false) }
+func BenchmarkWorkerResyncReplayExact(b *testing.B) { benchWorkerResync(b, true, true) }
+func BenchmarkWorkerResyncCloneLocal(b *testing.B)  { benchWorkerResync(b, false, false) }
+func BenchmarkWorkerResyncCloneExact(b *testing.B)  { benchWorkerResync(b, false, true) }
+
+// Batch 8 is a batched top-k commit round (the statistical recovery
+// phase's floor is 4); batch 48 is a candidate-ranking sweep. The
+// per-call clone tax of the old path is paid per round regardless of
+// batch size, so the small-round benchmarks isolate it while the large
+// ones show the scoring-bound regime.
+func BenchmarkRoundScoringPersistentExact8(b *testing.B)  { benchRoundScoring(b, true, true, 8) }
+func BenchmarkRoundScoringPersistentLocal8(b *testing.B)  { benchRoundScoring(b, true, false, 8) }
+func BenchmarkRoundScoringCloneExact8(b *testing.B)       { benchRoundScoring(b, false, true, 8) }
+func BenchmarkRoundScoringCloneLocal8(b *testing.B)       { benchRoundScoring(b, false, false, 8) }
+func BenchmarkRoundScoringPersistentLocal48(b *testing.B) { benchRoundScoring(b, true, false, 48) }
+func BenchmarkRoundScoringCloneLocal48(b *testing.B)      { benchRoundScoring(b, false, false, 48) }

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ssta"
+	"repro/internal/tech"
+)
+
+// freshCloneScores replicates the pre-persistent-worker ScoreAll: a
+// throwaway clone of the engine's state per chunk, same contiguous
+// chunk partitioning, scored sequentially. It is the bitwise reference
+// the persistent workers must match.
+func freshCloneScores(e *Engine, moves []Move, exact bool) ([]Score, error) {
+	workers := e.cfg.Workers
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	out := make([]Score, len(moves))
+	chunk := (len(moves) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, w*chunk+chunk
+		if hi > len(moves) {
+			hi = len(moves)
+		}
+		if lo >= hi {
+			break
+		}
+		dc := e.d.Clone()
+		var inc *ssta.Incremental
+		if exact {
+			inc = e.inc.CloneFor(dc)
+		}
+		sc := e.newScoreCtx(dc, e.acc.CloneFor(dc), inc)
+		for i := lo; i < hi; i++ {
+			s, err := sc.score(moves[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+	}
+	return out, nil
+}
+
+// scoreBitsEqual compares two scores bitwise (drift matters here: the
+// persistent workers claim bit-for-bit equivalence, not tolerance).
+func scoreBitsEqual(a, b Score) bool {
+	return math.Float64bits(a.DLeakQNW) == math.Float64bits(b.DLeakQNW) &&
+		math.Float64bits(a.DMarginPs) == math.Float64bits(b.DMarginPs) &&
+		math.Float64bits(a.DOwnPs) == math.Float64bits(b.DOwnPs) &&
+		math.Float64bits(a.DLeakNomNW) == math.Float64bits(b.DLeakNomNW)
+}
+
+// TestPersistentWorkersMatchFreshClones is the resync property test:
+// it interleaves parallel ScoreAll rounds (exact and local) with
+// committed moves, transaction peels/rollbacks, forced cache
+// refreshes, and a poisoned batch that errors mid-round, asserting
+// after every round that (a) the persistent workers produce scores
+// bitwise identical to throwaway fresh-clone scorers and (b) the
+// engine's own observable state is untouched by scoring. Run under
+// -race this also exercises the worker fan-out for data races.
+func TestPersistentWorkersMatchFreshClones(t *testing.T) {
+	e, d := testEngine(t, "s432", Config{Workers: 4, RefreshEvery: 64})
+	ids := gateIDs(d)
+	rng := rand.New(rand.NewSource(11))
+
+	// Build both caches so exact and local rounds are available.
+	if _, err := e.DelayQuantile(0.99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LeakQuantile(0.99); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := func(n int) []Move {
+		var mvs []Move
+		for len(mvs) < n {
+			if mv, ok := randomMove(d, ids, rng); ok {
+				mvs = append(mvs, mv)
+			}
+		}
+		return mvs
+	}
+
+	for round := 0; round < 40; round++ {
+		moves := batch(8 + rng.Intn(32))
+		exact := rng.Intn(2) == 0
+
+		q0 := e.acc.Quantile(e.cfg.LeakPercentile)
+		m0 := e.inc.Result().Quantile(e.cfg.YieldTarget)
+
+		want, err := freshCloneScores(e, moves, exact)
+		if err != nil {
+			t.Fatalf("round %d: reference scorer: %v", round, err)
+		}
+		var got []Score
+		if exact {
+			got, err = e.ScoreAll(moves)
+		} else {
+			got, err = e.ScoreAllLocal(moves)
+		}
+		if err != nil {
+			t.Fatalf("round %d: ScoreAll(exact=%v): %v", round, exact, err)
+		}
+		for i := range moves {
+			if !scoreBitsEqual(got[i], want[i]) {
+				t.Fatalf("round %d move %d (exact=%v): persistent %+v != fresh-clone %+v",
+					round, i, exact, got[i], want[i])
+			}
+		}
+		if b0, b1 := math.Float64bits(q0), math.Float64bits(e.acc.Quantile(e.cfg.LeakPercentile)); b0 != b1 {
+			t.Fatalf("round %d: ScoreAll disturbed the engine's leakage state", round)
+		}
+		if b0, b1 := math.Float64bits(m0), math.Float64bits(e.inc.Result().Quantile(e.cfg.YieldTarget)); b0 != b1 {
+			t.Fatalf("round %d: ScoreAll disturbed the engine's timing state", round)
+		}
+
+		// Interleave engine mutations between rounds.
+		switch rng.Intn(4) {
+		case 0: // commit a few moves directly
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				if mv, ok := randomMove(d, ids, rng); ok {
+					if err := e.Apply(mv); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 1: // transaction: apply, peel some, then commit or roll back
+			txn := e.Begin()
+			for i := 0; i < 2+rng.Intn(6); i++ {
+				if mv, ok := randomMove(d, ids, rng); ok {
+					if err := txn.Apply(mv); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for txn.Len() > 0 && rng.Intn(2) == 0 {
+				if _, err := txn.PopRevert(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rng.Intn(2) == 0 {
+				if err := txn.Rollback(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				txn.Commit()
+			}
+		case 2: // forced full refresh: workers must re-clone, not replay
+			if err := e.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // poisoned batch: a stale move errors mid-round and must
+			// dirty its worker without corrupting later rounds
+			id := ids[rng.Intn(len(ids))]
+			to := tech.HighVth
+			if d.Vth[id] == tech.HighVth {
+				to = tech.LowVth
+			}
+			stale, err := NewVthSwap(d, id, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Apply(stale); err != nil { // now stale's precondition is gone
+				t.Fatal(err)
+			}
+			poisoned := append(batch(7), stale)
+			if _, err := e.ScoreAllLocal(poisoned); err == nil {
+				t.Fatalf("round %d: poisoned batch scored without error", round)
+			}
+		}
+	}
+}

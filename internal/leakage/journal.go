@@ -1,0 +1,81 @@
+package leakage
+
+// Journal support: a scoring worker that keeps a persistent
+// Accumulator across rounds (see engine.ScoreAll) records every value
+// it is about to overwrite and restores the lot when the round ends,
+// so the worker's state returns bitwise to its pre-round snapshot —
+// including the floating-point drift a clone-per-round scorer would
+// have discarded with the clone. The journal is O(state touched): the
+// scalar sums and the k-vectors are snapshotted once, the per-gate
+// caches only on the first Update of each gate.
+type accJournal struct {
+	M, Q, d1, d2, gateLeak, second2 float64
+	v, b                            []float64
+
+	ids            []int     // gates touched, in first-touch order
+	m, diagExp, gl []float64 // pre-touch per-gate values, parallel to ids
+
+	// First-touch detection by generation stamp: stamp[id] == gen marks
+	// id as already recorded this round. Bumping gen retires a whole
+	// round in O(1) — no per-round map clearing on the scoring hot path.
+	stamp []int
+	gen   int
+}
+
+// StartJournal begins recording. Every Update until RestoreJournal is
+// undone exactly by RestoreJournal; nesting is not supported (a second
+// Start before Restore re-snapshots and forgets the first).
+func (a *Accumulator) StartJournal() {
+	j := a.journal
+	if j == nil {
+		j = a.spare
+		if j == nil {
+			j = &accJournal{}
+		}
+		a.spare = nil
+		a.journal = j
+	}
+	if len(j.stamp) < len(a.m) {
+		j.stamp = make([]int, len(a.m))
+		j.gen = 0
+	}
+	j.gen++
+	j.M, j.Q, j.d1, j.d2 = a.M, a.Q, a.d1, a.d2
+	j.gateLeak, j.second2 = a.gateLeak, a.second2
+	j.v = append(j.v[:0], a.v...)
+	j.b = append(j.b[:0], a.b...)
+	j.ids = j.ids[:0]
+	j.m, j.diagExp, j.gl = j.m[:0], j.diagExp[:0], j.gl[:0]
+}
+
+// RestoreJournal puts the accumulator back to its StartJournal state
+// bitwise and stops recording. A no-op if no journal is active.
+func (a *Accumulator) RestoreJournal() {
+	j := a.journal
+	if j == nil {
+		return
+	}
+	a.M, a.Q, a.d1, a.d2 = j.M, j.Q, j.d1, j.d2
+	a.gateLeak, a.second2 = j.gateLeak, j.second2
+	copy(a.v, j.v)
+	copy(a.b, j.b)
+	for i, id := range j.ids {
+		a.m[id] = j.m[i]
+		a.diagExp[id] = j.diagExp[i]
+		a.gl[id] = j.gl[i]
+	}
+	a.journal = nil
+	a.spare = j // keep the allocations for the next round
+}
+
+// note records gate id's cached values before their first overwrite.
+func (j *accJournal) note(a *Accumulator, id int) {
+	if j.stamp[id] == j.gen {
+		return
+	}
+	j.stamp[id] = j.gen
+	j.ids = append(j.ids, id)
+	j.m = append(j.m, a.m[id])
+	j.diagExp = append(j.diagExp, a.diagExp[id])
+	j.gl = append(j.gl, a.gl[id])
+}

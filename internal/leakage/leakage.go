@@ -174,6 +174,9 @@ type Accumulator struct {
 	d1, d2   float64
 	gateLeak float64
 	second2  float64 // Σ m_i²·diagExp_i (the exact diagonal)
+
+	journal *accJournal // non-nil while a scoring round records undo state
+	spare   *accJournal // retired journal kept to reuse its allocations
 }
 
 // NewAccumulator builds the factored state for the design's current
@@ -258,6 +261,9 @@ func (a *Accumulator) addGate(id int, sign float64) {
 // Update refreshes gate id's contribution after its Vth or size
 // changed in the underlying design. O(k²).
 func (a *Accumulator) Update(id int) {
+	if a.journal != nil {
+		a.journal.note(a, id)
+	}
 	a.addGate(id, -1)
 	a.addGate(id, +1)
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/search"
 	"repro/internal/tech"
 )
 
@@ -58,7 +59,6 @@ func AnnealCtx(ctx context.Context, d *core.Design, o Options, cfg AnnealConfig)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &StatResult{}
-	om := metricsFor("anneal")
 
 	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
@@ -100,74 +100,84 @@ func AnnealCtx(ctx context.Context, d *core.Design, o Options, cfg AnnealConfig)
 		t1 = 1e-12
 	}
 
-	for m := 0; m < cfg.Moves; m++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		temp := t0 * math.Pow(t1/t0, float64(m)/float64(cfg.Moves))
-		id := gates[rng.Intn(len(gates))]
-
-		// Propose: flip Vth, or step the size one notch either way.
-		var mv engine.Move
-		switch {
-		case o.EnableVth && (!o.EnableSizing || rng.Intn(2) == 0):
-			next := tech.LowVth
-			if d.Vth[id] == tech.LowVth {
-				next = tech.HighVth
+	// The walk as a first-accept policy: one random move per round, the
+	// Metropolis criterion as the verification predicate. The RNG draw
+	// order (gate, move type, direction, acceptance coin — the coin only
+	// when the candidate is uphill) fixes the trajectory per seed.
+	m := -1
+	var temp float64
+	var cand, candYield, candQ float64
+	tally, err := search.Run(ctx, e, search.Policy{
+		Optimizer: "anneal",
+		Propose: func(_ context.Context, t *search.Tally) (*search.Round, error) {
+			m++
+			if m >= cfg.Moves {
+				return nil, nil
 			}
-			swap, err := engine.NewVthSwap(d, id, next)
+			temp = t0 * math.Pow(t1/t0, float64(m)/float64(cfg.Moves))
+			id := gates[rng.Intn(len(gates))]
+			d := e.Design()
+
+			// Flip Vth, or step the size one notch either way.
+			var mv engine.Move
+			switch {
+			case o.EnableVth && (!o.EnableSizing || rng.Intn(2) == 0):
+				next := tech.LowVth
+				if d.Vth[id] == tech.LowVth {
+					next = tech.HighVth
+				}
+				swap, err := engine.NewVthSwap(d, id, next)
+				if err != nil {
+					return nil, err
+				}
+				mv = swap
+			default:
+				si := d.SizeIndex(id)
+				up := true
+				if si == 0 {
+					up = true
+				} else if si == len(d.Lib.Sizes)-1 {
+					up = false
+				} else if rng.Intn(2) == 0 {
+					up = false
+				}
+				var ok bool
+				var rz engine.Resize
+				if up {
+					rz, ok = engine.NewUpsize(d, id)
+				} else {
+					rz, ok = engine.NewDownsize(d, id)
+				}
+				if !ok {
+					return &search.Round{}, nil // single-size ladder: no size move exists
+				}
+				mv = rz
+			}
+			return &search.Round{Moves: []engine.Move{mv}}, nil
+		},
+		Verify: func() (bool, error) {
+			var err error
+			cand, candYield, candQ, err = evalObjective()
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			mv = swap
-		default:
-			si := d.SizeIndex(id)
-			up := true
-			if si == 0 {
-				up = true
-			} else if si == len(d.Lib.Sizes)-1 {
-				up = false
-			} else if rng.Intn(2) == 0 {
-				up = false
+			return cand <= cur || rng.Float64() < math.Exp((cur-cand)/temp), nil
+		},
+		Accepted: func(mv engine.Move, t *search.Tally) error {
+			cur = cand
+			if candYield >= o.YieldTarget && candQ < bestFeasible {
+				bestFeasible = candQ
+				bestState = d.Clone()
 			}
-			var ok bool
-			var rz engine.Resize
-			if up {
-				rz, ok = engine.NewUpsize(d, id)
-			} else {
-				rz, ok = engine.NewDownsize(d, id)
+			if t.Moves%256 == 0 {
+				o.report(Progress{Optimizer: "anneal", Phase: "walk", Moves: t.Moves, Round: t.Rounds, LeakQNW: candQ, Yield: candYield})
 			}
-			if !ok {
-				continue // single-size ladder: no size move exists
-			}
-			mv = rz
-		}
-		if err := e.Apply(mv); err != nil {
-			return nil, err
-		}
-		om.proposed.Inc()
-
-		cand, candYield, candQ, err := evalObjective()
-		if err != nil {
-			return nil, err
-		}
-		accept := cand <= cur || rng.Float64() < math.Exp((cur-cand)/temp)
-		if !accept {
-			if err := e.Revert(mv); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		om.accepted.Inc()
-		cur = cand
-		res.Moves++
-		if candYield >= o.YieldTarget && candQ < bestFeasible {
-			bestFeasible = candQ
-			bestState = d.Clone()
-		}
-		if res.Moves%256 == 0 {
-			o.report(Progress{Optimizer: "anneal", Phase: "walk", Moves: res.Moves, LeakQNW: candQ, Yield: candYield})
-		}
+			return nil
+		},
+	})
+	addTally(&res.Result, tally)
+	if err != nil {
+		return nil, err
 	}
 	if bestState != nil {
 		d.CopyAssignmentFrom(bestState)

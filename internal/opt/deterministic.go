@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/logic"
+	"repro/internal/search"
 	"repro/internal/sta"
 	"repro/internal/stats"
 	"repro/internal/tech"
@@ -28,7 +29,7 @@ func MinimumDelayCtx(ctx context.Context, d *core.Design) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := sizeToTarget(ctx, e, 0, 0, metricsFor("min-delay"), Options{}, "min-delay")
+	res, err := sizeToTarget(ctx, e, 0, 0, Options{}, "min-delay")
 	if err != nil {
 		return 0, err
 	}
@@ -36,14 +37,14 @@ func MinimumDelayCtx(ctx context.Context, d *core.Design) (float64, error) {
 }
 
 // sizeToTarget runs the phase-A greedy sizing loop at the engine's
-// corner: while the max delay exceeds target, pick the critical-path
-// gate whose one-step upsize most reduces a local delay estimate (own
-// speedup minus the slowdown it inflicts on its drivers), apply it,
-// and verify with the engine's memoized corner STA — reverting and
-// blacklisting the gate when the estimate was wrong. target = 0 sizes
-// for minimum delay. maxMoves 0 means 10×n. The loop checks ctx once
-// per iteration so cancellation lands within one move.
-func sizeToTarget(ctx context.Context, e *engine.Engine, target float64, maxMoves int, om optMetrics, o Options, optimizer string) (*Result, error) {
+// corner as a first-accept search policy: while the max delay exceeds
+// target, propose the critical-path gate whose one-step upsize most
+// reduces a local delay estimate (own speedup minus the slowdown it
+// inflicts on its drivers) and verify with the engine's memoized
+// corner STA — the driver reverts and the policy blacklists the gate
+// when the estimate was wrong. target = 0 sizes for minimum delay.
+// maxMoves 0 means 10×n.
+func sizeToTarget(ctx context.Context, e *engine.Engine, target float64, maxMoves int, o Options, optimizer string) (*Result, error) {
 	res := &Result{}
 	d := e.Design()
 	c := d.Circuit
@@ -59,72 +60,75 @@ func sizeToTarget(ctx context.Context, e *engine.Engine, target float64, maxMove
 	if err != nil {
 		return nil, err
 	}
-	for iter := 0; ; iter++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if target > 0 && r.MaxDelay <= target {
-			res.Feasible = true
-			break
-		}
-		if res.Moves >= maxMoves {
-			break
-		}
-		// Candidates: non-blacklisted critical-path gates below max size.
-		path := r.CriticalPath(d)
-		bestID := -1
-		bestEst := -slackEps // require a strictly improving estimate
-		for _, id := range path {
-			g := c.Gate(id)
-			if g.Type == logic.Input || blacklist[id] {
-				continue
+	iter := -1
+	tally, err := search.Run(ctx, e, search.Policy{
+		Optimizer: optimizer,
+		Propose: func(_ context.Context, t *search.Tally) (*search.Round, error) {
+			iter++
+			if target > 0 && r.MaxDelay <= target {
+				res.Feasible = true
+				return nil, nil
 			}
-			si := d.SizeIndex(id)
-			if si+1 >= len(d.Lib.Sizes) {
-				continue
+			if t.Moves >= maxMoves {
+				return nil, nil
 			}
-			est := upsizeEstimate(d, id, d.Lib.Sizes[si+1], dLc, dVc)
-			if est < bestEst {
-				bestEst = est
-				bestID = id
+			// Candidates: non-blacklisted critical-path gates below max size.
+			d := e.Design()
+			path := r.CriticalPath(d)
+			bestID := -1
+			bestEst := -slackEps // require a strictly improving estimate
+			for _, id := range path {
+				g := c.Gate(id)
+				if g.Type == logic.Input || blacklist[id] {
+					continue
+				}
+				si := d.SizeIndex(id)
+				if si+1 >= len(d.Lib.Sizes) {
+					continue
+				}
+				est := upsizeEstimate(d, id, d.Lib.Sizes[si+1], dLc, dVc)
+				if est < bestEst {
+					bestEst = est
+					bestID = id
+				}
 			}
-		}
-		if bestID < 0 {
-			res.Feasible = target > 0 && r.MaxDelay <= target
-			break
-		}
-		mv, ok := engine.NewUpsize(d, bestID)
-		if !ok {
-			blacklist[bestID] = true
-			continue
-		}
-		if err := e.Apply(mv); err != nil {
-			return nil, err
-		}
-		om.proposed.Inc()
-		r2, err := analyze()
-		if err != nil {
-			return nil, err
-		}
-		if r2.MaxDelay >= r.MaxDelay-slackEps {
-			// The local estimate lied (off-path loading dominated);
-			// undo and stop considering this gate until something
-			// else changes the neighborhood.
-			if err := e.Revert(mv); err != nil {
-				return nil, err
+			if bestID < 0 {
+				res.Feasible = target > 0 && r.MaxDelay <= target
+				return nil, nil
 			}
-			blacklist[bestID] = true
-			continue
-		}
-		om.accepted.Inc()
-		res.Moves++
-		res.SizeUps++
-		r = r2
-		o.report(Progress{Optimizer: optimizer, Phase: "sizing", Moves: res.Moves, LeakQNW: d.TotalLeak()})
-		// Progress invalidates stale blacklist knowledge.
-		if len(blacklist) > 0 && iter%16 == 0 {
-			blacklist = make(map[int]bool)
-		}
+			mv, ok := engine.NewUpsize(d, bestID)
+			if !ok {
+				// Spend the round; something else must change first.
+				blacklist[bestID] = true
+				return &search.Round{}, nil
+			}
+			return &search.Round{Moves: []engine.Move{mv}}, nil
+		},
+		Verify: func() (bool, error) {
+			r2, err := analyze()
+			if err != nil {
+				return false, err
+			}
+			if r2.MaxDelay >= r.MaxDelay-slackEps {
+				// The local estimate lied (off-path loading dominated).
+				return false, nil
+			}
+			r = r2
+			return true, nil
+		},
+		Rejected: func(mv engine.Move) { blacklist[mv.Gate()] = true },
+		Accepted: func(mv engine.Move, t *search.Tally) error {
+			o.report(Progress{Optimizer: optimizer, Phase: "sizing", Moves: t.Moves, Round: t.Rounds, LeakQNW: e.Design().TotalLeak()})
+			// Progress invalidates stale blacklist knowledge.
+			if len(blacklist) > 0 && iter%16 == 0 {
+				blacklist = make(map[int]bool)
+			}
+			return nil
+		},
+	})
+	addTally(res, tally)
+	if err != nil {
+		return nil, err
 	}
 	res.NominalDelayPs = r.MaxDelay
 	res.NominalLeakNW = d.TotalLeak()
@@ -199,7 +203,6 @@ func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, 
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	om := metricsFor("deterministic")
 	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
 		return nil, err
@@ -216,7 +219,7 @@ func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, 
 	for _, m := range margins {
 		res := &Result{}
 		if o.EnableSizing {
-			res, err = sizeToTarget(ctx, e, o.TmaxPs*m, o.MaxMoves, om, o, "deterministic")
+			res, err = sizeToTarget(ctx, e, o.TmaxPs*m, o.MaxMoves, o, "deterministic")
 			if err != nil {
 				return nil, err
 			}
@@ -232,7 +235,7 @@ func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, 
 		if r.MaxDelay > o.TmaxPs+slackEps {
 			break // even the real constraint is out of reach; deeper targets won't help
 		}
-		if err := detPhaseB(ctx, e, o, total, om); err != nil {
+		if err := detPhaseB(ctx, e, o, total); err != nil {
 			return nil, err
 		}
 		if leak := d.TotalLeak(); leak < bestLeak {
@@ -262,55 +265,50 @@ func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, 
 	return total, nil
 }
 
-// detPhaseB drains all corner-feasible leakage-recovery moves,
-// checking ctx once per move.
-func detPhaseB(ctx context.Context, e *engine.Engine, o Options, res *Result, om optMetrics) error {
+// detPhaseB drains all corner-feasible leakage-recovery moves as a
+// first-accept search policy.
+func detPhaseB(ctx context.Context, e *engine.Engine, o Options, res *Result) error {
 	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
 		maxMoves = 10 * d.Circuit.NumGates()
 	}
+	base := res.Moves // accumulated across the margin sweep
 	blocked := make(map[moveKey]bool)
-	for res.Moves < maxMoves {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		r, err := e.Corner(o.TmaxPs)
-		if err != nil {
-			return err
-		}
-		mv, ok := bestCornerRecoveryMove(e, o, r.Slack, blocked)
-		if !ok {
-			break
-		}
-		if err := e.Apply(mv); err != nil {
-			return err
-		}
-		om.proposed.Inc()
+	tally, err := search.Run(ctx, e, search.Policy{
+		Optimizer: "deterministic",
+		Propose: func(_ context.Context, t *search.Tally) (*search.Round, error) {
+			if base+t.Moves >= maxMoves {
+				return nil, nil
+			}
+			r, err := e.Corner(o.TmaxPs)
+			if err != nil {
+				return nil, err
+			}
+			mv, ok := bestCornerRecoveryMove(e, o, r.Slack, blocked)
+			if !ok {
+				return nil, nil
+			}
+			return &search.Round{Moves: []engine.Move{mv}}, nil
+		},
 		// The feasibility condition is exact for these move types (see
 		// the package comment), so a violation here would be a bug; the
 		// check stays as a cheap invariant guard.
-		r2, err := e.Corner(o.TmaxPs)
-		if err != nil {
-			return err
-		}
-		if r2.MaxDelay > o.TmaxPs+slackEps {
-			if err := e.Revert(mv); err != nil {
-				return err
+		Verify: func() (bool, error) {
+			r2, err := e.Corner(o.TmaxPs)
+			if err != nil {
+				return false, err
 			}
-			blocked[keyOf(mv)] = true
-			continue
-		}
-		om.accepted.Inc()
-		res.Moves++
-		if mv.Kind() == engine.KindVthSwap {
-			res.VthSwaps++
-		} else {
-			res.SizeDowns++
-		}
-		o.report(Progress{Optimizer: "deterministic", Phase: "recovery", Moves: res.Moves, LeakQNW: d.TotalLeak()})
-	}
-	return nil
+			return r2.MaxDelay <= o.TmaxPs+slackEps, nil
+		},
+		Rejected: func(mv engine.Move) { blocked[keyOf(mv)] = true },
+		Accepted: func(mv engine.Move, t *search.Tally) error {
+			o.report(Progress{Optimizer: "deterministic", Phase: "recovery", Moves: base + t.Moves, Round: t.Rounds, LeakQNW: e.Design().TotalLeak()})
+			return nil
+		},
+	})
+	addTally(res, tally)
+	return err
 }
 
 // bestCornerRecoveryMove scans all gates for the highest

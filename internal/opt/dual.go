@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/logic"
+	"repro/internal/search"
 	"repro/internal/stats"
 	"repro/internal/tech"
 )
@@ -48,7 +49,6 @@ func MinimizeDelayUnderLeakBudgetCtx(ctx context.Context, d *core.Design, o Opti
 		return nil, err
 	}
 	res := &DualResult{BudgetNW: budgetNW, YieldTargetQ: o.YieldTarget}
-	om := metricsFor("dual")
 	kappa := stats.NormalQuantile(o.YieldTarget)
 
 	// Least-leaky start (before the engine builds its caches).
@@ -84,90 +84,91 @@ func MinimizeDelayUnderLeakBudgetCtx(ctx context.Context, d *core.Design, o Opti
 		maxMoves = 10 * d.Circuit.NumGates()
 	}
 	blacklist := make(map[moveKey]bool)
-	for res.Moves < maxMoves {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		sr, err := e.Timing()
-		if err != nil {
-			return nil, err
-		}
-		path := statCriticalPath(d, sr, kappa)
-		q0 := sr.Quantile(o.YieldTarget)
-
-		// Best speedup candidate on the statistically critical path,
-		// scored by local delay gain per leakage spent.
-		var best engine.Move
-		bestScore := 0.0
-		for _, id := range path {
-			g := d.Circuit.Gate(id)
-			if g.Type == logic.Input {
-				continue
+	var q0, lq float64 // pre-move delay quantile / post-move leakage quantile
+	tally, err := search.Run(ctx, e, search.Policy{
+		Optimizer: "dual",
+		Propose: func(_ context.Context, t *search.Tally) (*search.Round, error) {
+			if t.Moves >= maxMoves {
+				return nil, nil
 			}
-			dNow := d.GateDelay(id)
-			lNow := d.Lib.Leak(g.Type, d.Vth[id], d.Size[id])
-			consider := func(mv engine.Move, dNew, lNew float64) {
-				if blacklist[keyOf(mv)] {
-					return
-				}
-				gain := dNow - dNew
-				cost := lNew - lNow
-				if gain <= 0 || cost <= 0 {
-					return
-				}
-				if score := gain / cost; score > bestScore {
-					bestScore = score
-					best = mv
-				}
-			}
-			if o.EnableVth && d.Vth[id] == tech.HighVth {
-				if mv, err := engine.NewVthSwap(d, id, tech.LowVth); err == nil {
-					consider(mv,
-						d.Lib.Delay(g.Type, tech.LowVth, d.Size[id], d.Load(id)),
-						d.Lib.Leak(g.Type, tech.LowVth, d.Size[id]))
-				}
-			}
-			if o.EnableSizing {
-				if mv, ok := engine.NewUpsize(d, id); ok {
-					s := d.Lib.Sizes[mv.ToIdx]
-					consider(mv,
-						d.Lib.Delay(g.Type, d.Vth[id], s, d.Load(id)),
-						d.Lib.Leak(g.Type, d.Vth[id], s))
-				}
-			}
-		}
-		if best == nil {
-			break
-		}
-		if err := e.Apply(best); err != nil {
-			return nil, err
-		}
-		om.proposed.Inc()
-		lq, err := e.LeakQuantile(o.LeakPercentile)
-		if err != nil {
-			return nil, err
-		}
-		q1, err := e.DelayQuantile(o.YieldTarget)
-		if err != nil {
-			return nil, err
-		}
-		// Keep only moves that respect the budget and actually help
-		// the delay quantile.
-		if lq > budgetNW || q1 >= q0-slackEps {
-			if err := e.Revert(best); err != nil {
+			sr, err := e.Timing()
+			if err != nil {
 				return nil, err
 			}
-			blacklist[keyOf(best)] = true
-			continue
-		}
-		om.accepted.Inc()
-		res.Moves++
-		if best.Kind() == engine.KindVthSwap {
-			res.SwapsToLVT++
-		} else {
-			res.SizeUps++
-		}
-		o.report(Progress{Optimizer: "dual", Phase: "speedup", Moves: res.Moves, LeakQNW: lq})
+			d := e.Design()
+			path := statCriticalPath(d, sr, kappa)
+			q0 = sr.Quantile(o.YieldTarget)
+
+			// Best speedup candidate on the statistically critical path,
+			// scored by local delay gain per leakage spent.
+			var best engine.Move
+			bestScore := 0.0
+			for _, id := range path {
+				g := d.Circuit.Gate(id)
+				if g.Type == logic.Input {
+					continue
+				}
+				dNow := d.GateDelay(id)
+				lNow := d.Lib.Leak(g.Type, d.Vth[id], d.Size[id])
+				consider := func(mv engine.Move, dNew, lNew float64) {
+					if blacklist[keyOf(mv)] {
+						return
+					}
+					gain := dNow - dNew
+					cost := lNew - lNow
+					if gain <= 0 || cost <= 0 {
+						return
+					}
+					if score := gain / cost; score > bestScore {
+						bestScore = score
+						best = mv
+					}
+				}
+				if o.EnableVth && d.Vth[id] == tech.HighVth {
+					if mv, err := engine.NewVthSwap(d, id, tech.LowVth); err == nil {
+						consider(mv,
+							d.Lib.Delay(g.Type, tech.LowVth, d.Size[id], d.Load(id)),
+							d.Lib.Leak(g.Type, tech.LowVth, d.Size[id]))
+					}
+				}
+				if o.EnableSizing {
+					if mv, ok := engine.NewUpsize(d, id); ok {
+						s := d.Lib.Sizes[mv.ToIdx]
+						consider(mv,
+							d.Lib.Delay(g.Type, d.Vth[id], s, d.Load(id)),
+							d.Lib.Leak(g.Type, d.Vth[id], s))
+					}
+				}
+			}
+			if best == nil {
+				return nil, nil
+			}
+			return &search.Round{Moves: []engine.Move{best}}, nil
+		},
+		// Keep only moves that respect the budget and actually help the
+		// delay quantile.
+		Verify: func() (bool, error) {
+			var err error
+			if lq, err = e.LeakQuantile(o.LeakPercentile); err != nil {
+				return false, err
+			}
+			q1, err := e.DelayQuantile(o.YieldTarget)
+			if err != nil {
+				return false, err
+			}
+			return lq <= budgetNW && q1 < q0-slackEps, nil
+		},
+		Rejected: func(mv engine.Move) { blacklist[keyOf(mv)] = true },
+		Accepted: func(mv engine.Move, t *search.Tally) error {
+			o.report(Progress{Optimizer: "dual", Phase: "speedup", Moves: t.Moves, Round: t.Rounds, LeakQNW: lq})
+			return nil
+		},
+	})
+	res.Moves += tally.Moves
+	res.SwapsToLVT += tally.VthSwaps
+	res.SizeUps += tally.SizeUps
+	if err != nil {
+		return nil, err
 	}
 	res.DelayQPs, err = e.DelayQuantile(o.YieldTarget)
 	if err != nil {

@@ -17,11 +17,13 @@
 // mean+κσ analogue is the ranking heuristic under SSTA (with a full
 // SSTA yield check and rollback as the safety net).
 //
-// All four optimizers evaluate moves through the shared transactional
-// engine (internal/engine): moves are engine.Move values, state is
-// applied/reverted via the engine so cached incremental timing,
-// factored leakage, and corner STA stay consistent, and candidate
-// scoring fans out over engine.ScoreAllLocal.
+// All four optimizers are thin policy configurations of the shared
+// round-based search driver (internal/search): each supplies a
+// candidate generator, a verification predicate, and blacklist /
+// incumbent bookkeeping, while the driver owns the loop — applying
+// candidates through the transactional engine (internal/engine),
+// first-accept or batched with txn-peel repair, with cancellation,
+// move accounting and metrics handled once for every flow.
 package opt
 
 import (
@@ -29,31 +31,8 @@ import (
 	"time"
 
 	"repro/internal/engine"
-	"repro/internal/obs"
+	"repro/internal/search"
 )
-
-// Move-acceptance instrumentation, labelled per optimizer: the
-// accepted/proposed ratio is each optimizer's hit rate, a direct
-// health signal for the ranking heuristics (see internal/obs).
-var (
-	metProposed = obs.Default.CounterVec("statleak_opt_moves_proposed_total",
-		"moves applied speculatively by an optimizer", "optimizer")
-	metAccepted = obs.Default.CounterVec("statleak_opt_moves_accepted_total",
-		"speculative moves kept after verification", "optimizer")
-)
-
-// optMetrics carries one optimizer's pre-resolved child counters so
-// the inner loops pay a single atomic add, not a vec lookup.
-type optMetrics struct {
-	proposed, accepted *obs.Counter
-}
-
-func metricsFor(optimizer string) optMetrics {
-	return optMetrics{
-		proposed: metProposed.With(optimizer),
-		accepted: metAccepted.With(optimizer),
-	}
-}
 
 // Options configures an optimization run.
 type Options struct {
@@ -93,6 +72,7 @@ type Progress struct {
 	Optimizer string  // "deterministic", "statistical", "anneal", "dual", "min-delay"
 	Phase     string  // optimizer-specific phase label, e.g. "sizing", "recovery"
 	Moves     int     // applied (and kept) moves so far
+	Round     int     // search rounds driven in the current phase
 	LeakQNW   float64 // current objective leakage [nW]: percentile for statistical flows, nominal for corner flows; 0 if not tracked
 	Yield     float64 // current timing yield at Tmax, 0 if not tracked
 }
@@ -163,6 +143,16 @@ type moveKey struct {
 }
 
 func keyOf(m engine.Move) moveKey { return moveKey{m.Gate(), m.Kind()} }
+
+// addTally folds a search run's account into a Result. Phases that
+// share one Result across several Run calls (the margin sweep) pass
+// the driver per-phase tallies and accumulate here.
+func addTally(res *Result, t *search.Tally) {
+	res.Moves += t.Moves
+	res.SizeUps += t.SizeUps
+	res.VthSwaps += t.VthSwaps
+	res.SizeDowns += t.SizeDowns
+}
 
 // engineConfig maps optimizer options onto the engine's evaluation
 // parameters (refresh cadence and worker count stay at engine

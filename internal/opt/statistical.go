@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/leakage"
 	"repro/internal/logic"
+	"repro/internal/search"
 	"repro/internal/ssta"
 	"repro/internal/stats"
 	"repro/internal/tech"
@@ -47,7 +48,6 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 		return nil, err
 	}
 	res := &StatResult{}
-	om := metricsFor("statistical")
 	e, err := engine.New(d, engineConfig(o))
 	if err != nil {
 		return nil, err
@@ -61,7 +61,7 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 		margins = margins[:1]
 	}
 	for _, m := range margins {
-		if err := statPhaseA(ctx, e, o, o.TmaxPs*m, res, om); err != nil {
+		if err := statPhaseA(ctx, e, o, o.TmaxPs*m, res); err != nil {
 			return nil, err
 		}
 		q, err := e.DelayQuantile(o.YieldTarget)
@@ -71,7 +71,7 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 		if q > o.TmaxPs {
 			break // the real yield constraint is out of reach
 		}
-		if err := statPhaseB(ctx, e, o, res, om); err != nil {
+		if err := statPhaseB(ctx, e, o, res); err != nil {
 			return nil, err
 		}
 		an, err := leakage.Exact(d)
@@ -90,8 +90,11 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 }
 
 // statPhaseA upsizes statistically critical gates until the
-// eta-quantile of circuit delay meets target (or no move helps).
-func statPhaseA(ctx context.Context, e *engine.Engine, o Options, target float64, res *StatResult, om optMetrics) error {
+// eta-quantile of circuit delay meets target (or no move helps), as a
+// first-accept search policy: propose the statistical-critical-path
+// gate with the best local upsize estimate, verify that the delay
+// quantile actually dropped.
+func statPhaseA(ctx context.Context, e *engine.Engine, o Options, target float64, res *StatResult) error {
 	if !o.EnableSizing {
 		return nil
 	}
@@ -101,71 +104,73 @@ func statPhaseA(ctx context.Context, e *engine.Engine, o Options, target float64
 	if maxMoves == 0 {
 		maxMoves = 10 * d.Circuit.NumGates()
 	}
+	base := res.Moves // accumulated across the margin sweep
 	blacklist := make(map[int]bool)
-	for iter := 0; ; iter++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		q0, err := e.DelayQuantile(o.YieldTarget)
-		if err != nil {
-			return err
-		}
-		if q0 <= target || res.Moves >= maxMoves {
-			break
-		}
-		sr, err := e.Timing()
-		if err != nil {
-			return err
-		}
-		path := statCriticalPath(d, sr, kappa)
-		bestID := -1
-		bestEst := -slackEps
-		for _, id := range path {
-			g := d.Circuit.Gate(id)
-			if g.Type == logic.Input || blacklist[id] {
-				continue
+	var q0 float64 // delay quantile before the round's move
+	iter := -1
+	tally, err := search.Run(ctx, e, search.Policy{
+		Optimizer: "statistical",
+		Propose: func(_ context.Context, t *search.Tally) (*search.Round, error) {
+			iter++
+			var err error
+			if q0, err = e.DelayQuantile(o.YieldTarget); err != nil {
+				return nil, err
 			}
-			si := d.SizeIndex(id)
-			if si+1 >= len(d.Lib.Sizes) {
-				continue
+			if q0 <= target || base+t.Moves >= maxMoves {
+				return nil, nil
 			}
-			if est := upsizeEstimate(d, id, d.Lib.Sizes[si+1], 0, 0); est < bestEst {
-				bestEst = est
-				bestID = id
+			sr, err := e.Timing()
+			if err != nil {
+				return nil, err
 			}
-		}
-		if bestID < 0 {
-			break
-		}
-		mv, ok := engine.NewUpsize(d, bestID)
-		if !ok {
-			blacklist[bestID] = true
-			continue
-		}
-		if err := e.Apply(mv); err != nil {
-			return err
-		}
-		om.proposed.Inc()
-		q1, err := e.DelayQuantile(o.YieldTarget)
-		if err != nil {
-			return err
-		}
-		if q1 >= q0-slackEps {
-			if err := e.Revert(mv); err != nil {
-				return err
+			d := e.Design()
+			path := statCriticalPath(d, sr, kappa)
+			bestID := -1
+			bestEst := -slackEps
+			for _, id := range path {
+				g := d.Circuit.Gate(id)
+				if g.Type == logic.Input || blacklist[id] {
+					continue
+				}
+				si := d.SizeIndex(id)
+				if si+1 >= len(d.Lib.Sizes) {
+					continue
+				}
+				if est := upsizeEstimate(d, id, d.Lib.Sizes[si+1], 0, 0); est < bestEst {
+					bestEst = est
+					bestID = id
+				}
 			}
-			blacklist[bestID] = true
-			continue
-		}
-		om.accepted.Inc()
-		res.Moves++
-		res.SizeUps++
-		o.report(Progress{Optimizer: "statistical", Phase: "sizing", Moves: res.Moves})
-		if len(blacklist) > 0 && iter%16 == 0 {
-			blacklist = make(map[int]bool)
-		}
-	}
-	return nil
+			if bestID < 0 {
+				return nil, nil
+			}
+			mv, ok := engine.NewUpsize(d, bestID)
+			if !ok {
+				// Spend the round; something else must change first.
+				blacklist[bestID] = true
+				return &search.Round{}, nil
+			}
+			return &search.Round{Moves: []engine.Move{mv}}, nil
+		},
+		Verify: func() (bool, error) {
+			q1, err := e.DelayQuantile(o.YieldTarget)
+			if err != nil {
+				return false, err
+			}
+			return q1 < q0-slackEps, nil
+		},
+		Rejected: func(mv engine.Move) { blacklist[mv.Gate()] = true },
+		Accepted: func(mv engine.Move, t *search.Tally) error {
+			o.report(Progress{Optimizer: "statistical", Phase: "sizing", Moves: base + t.Moves, Round: t.Rounds})
+			// Progress invalidates stale blacklist knowledge.
+			if len(blacklist) > 0 && iter%16 == 0 {
+				blacklist = make(map[int]bool)
+			}
+			return nil
+		},
+	})
+	addTally(&res.Result, tally)
+	return err
 }
 
 // statPhaseB drains yield-feasible leakage-recovery moves, batch-
@@ -174,7 +179,7 @@ func statPhaseA(ctx context.Context, e *engine.Engine, o Options, target float64
 // incrementally — only the fanout cones of moved gates are re-timed —
 // and candidates are scored in parallel via the engine's worker pool,
 // which is what keeps large-circuit optimization in seconds.
-func statPhaseB(ctx context.Context, e *engine.Engine, o Options, res *StatResult, om optMetrics) error {
+func statPhaseB(ctx context.Context, e *engine.Engine, o Options, res *StatResult) error {
 	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
@@ -189,150 +194,134 @@ func statPhaseB(ctx context.Context, e *engine.Engine, o Options, res *StatResul
 	}
 	const safety = 0.8 // fraction of a gate's statistical slack a batch may consume
 
-	for res.Moves < maxMoves {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		slack, err := e.StatisticalSlack()
-		if err != nil {
-			return err
-		}
-		cands, err := statCandidates(ctx, e, o, slack, safety, blocked)
-		if err != nil {
-			return err
-		}
-		if len(cands) == 0 {
-			break
-		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	base := res.Moves // accumulated across the margin sweep
+	tally, err := search.Run(ctx, e, search.Policy{
+		Optimizer: "statistical",
+		Propose: func(ctx context.Context, t *search.Tally) (*search.Round, error) {
+			if base+t.Moves >= maxMoves {
+				return nil, nil
+			}
+			slack, err := e.StatisticalSlack()
+			if err != nil {
+				return nil, err
+			}
+			cands, err := statCandidates(ctx, e, o, slack, safety, blocked)
+			if err != nil {
+				return nil, err
+			}
+			if len(cands) == 0 {
+				return nil, nil
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 
-		// Accept greedily against a consumable per-gate slack budget.
-		budget := make(map[int]float64, batchCap)
-		txn := e.Begin()
-		for _, cand := range cands {
-			if txn.Len() >= batchCap || res.Moves+txn.Len() >= maxMoves {
-				break
+			// Select greedily against a consumable per-gate slack budget.
+			budget := make(map[int]float64, batchCap)
+			var selected []engine.Move
+			for _, cand := range cands {
+				if len(selected) >= batchCap || base+t.Moves+len(selected) >= maxMoves {
+					break
+				}
+				id := cand.mv.Gate()
+				b, seen := budget[id]
+				if !seen {
+					b = safety * slack[id]
+				}
+				if cand.dMetric > b-slackEps {
+					continue
+				}
+				budget[id] = b - cand.dMetric
+				selected = append(selected, cand.mv)
 			}
-			id := cand.mv.Gate()
-			b, seen := budget[id]
-			if !seen {
-				b = safety * slack[id]
+			if len(selected) == 0 {
+				return nil, nil
 			}
-			if cand.dMetric > b-slackEps {
-				continue
-			}
-			budget[id] = b - cand.dMetric
-			if err := txn.Apply(cand.mv); err != nil {
-				return err
-			}
-			om.proposed.Inc()
-		}
-		if txn.Len() == 0 {
-			txn.Commit()
-			break
-		}
-		// Verify the batch; peel back lowest-value moves until the
-		// yield constraint holds again.
-		for txn.Len() > 0 {
+			return &search.Round{Moves: selected, Mode: search.Batch}, nil
+		},
+		Verify: func() (bool, error) {
 			y, err := e.Yield()
 			if err != nil {
-				return err
+				return false, err
 			}
-			if y >= o.YieldTarget {
-				break
+			return y >= o.YieldTarget, nil
+		},
+		Rejected: func(mv engine.Move) { blocked[keyOf(mv)] = true },
+		RoundDone: func(accepted int, t *search.Tally) (bool, error) {
+			if accepted == 0 {
+				// The whole batch bounced: the per-gate slack heuristic is
+				// too optimistic here; stop rather than thrash.
+				return true, nil
 			}
-			mv, err := txn.PopRevert()
-			if err != nil {
-				return err
+			if o.Progress != nil {
+				lq, err := e.LeakQuantile(o.LeakPercentile)
+				if err != nil {
+					return false, err
+				}
+				o.report(Progress{Optimizer: "statistical", Phase: "recovery", Moves: base + t.Moves, Round: t.Rounds, LeakQNW: lq})
 			}
-			blocked[keyOf(mv)] = true
-		}
-		kept := txn.Moves()
-		if len(kept) == 0 {
-			// The whole batch bounced: the per-gate slack heuristic is
-			// too optimistic here; stop rather than thrash.
-			txn.Commit()
-			break
-		}
-		for _, mv := range kept {
-			om.accepted.Inc()
-			res.Moves++
-			if mv.Kind() == engine.KindVthSwap {
-				res.VthSwaps++
-			} else {
-				res.SizeDowns++
-			}
-		}
-		txn.Commit()
-		if o.Progress != nil {
-			lq, err := e.LeakQuantile(o.LeakPercentile)
-			if err != nil {
-				return err
-			}
-			o.report(Progress{Optimizer: "statistical", Phase: "recovery", Moves: res.Moves, LeakQNW: lq})
-		}
+			return false, nil
+		},
+	})
+	addTally(&res.Result, tally)
+	if err != nil {
+		return err
 	}
 
 	// Polish: the batch heuristic under-uses the last sliver of slack
 	// (safety factor, whole-batch bounces). Drain the boundary with
-	// exact single-move accepts: apply the best-scoring candidate,
-	// verify the yield (incrementally re-timed), keep or
-	// revert-and-block.
-	for res.Moves < maxMoves {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		slack, err := e.StatisticalSlack()
-		if err != nil {
-			return err
-		}
-		cands, err := statCandidates(ctx, e, o, slack, 1.0, blocked)
-		if err != nil {
-			return err
-		}
-		if len(cands) == 0 {
-			break
-		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
-		accepted := false
-		for _, cand := range cands {
-			if err := e.Apply(cand.mv); err != nil {
-				return err
+	// exact single-move first-accept rounds: the driver applies
+	// candidates best-score first, verifies the yield (incrementally
+	// re-timed), and keeps the first survivor.
+	base = res.Moves
+	var yield float64 // last verified yield, for the progress report
+	tally, err = search.Run(ctx, e, search.Policy{
+		Optimizer: "statistical",
+		Propose: func(ctx context.Context, t *search.Tally) (*search.Round, error) {
+			if base+t.Moves >= maxMoves {
+				return nil, nil
 			}
-			om.proposed.Inc()
+			slack, err := e.StatisticalSlack()
+			if err != nil {
+				return nil, err
+			}
+			cands, err := statCandidates(ctx, e, o, slack, 1.0, blocked)
+			if err != nil {
+				return nil, err
+			}
+			if len(cands) == 0 {
+				return nil, nil
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+			moves := make([]engine.Move, len(cands))
+			for i, cand := range cands {
+				moves[i] = cand.mv
+			}
+			return &search.Round{Moves: moves}, nil
+		},
+		Verify: func() (bool, error) {
 			y, err := e.Yield()
 			if err != nil {
-				return err
+				return false, err
 			}
-			if y < o.YieldTarget {
-				if err := e.Revert(cand.mv); err != nil {
-					return err
-				}
-				blocked[keyOf(cand.mv)] = true
-				continue
-			}
-			om.accepted.Inc()
-			res.Moves++
-			if cand.mv.Kind() == engine.KindVthSwap {
-				res.VthSwaps++
-			} else {
-				res.SizeDowns++
-			}
+			yield = y
+			return y >= o.YieldTarget, nil
+		},
+		Rejected: func(mv engine.Move) { blocked[keyOf(mv)] = true },
+		Accepted: func(mv engine.Move, t *search.Tally) error {
 			if o.Progress != nil {
 				lq, err := e.LeakQuantile(o.LeakPercentile)
 				if err != nil {
 					return err
 				}
-				o.report(Progress{Optimizer: "statistical", Phase: "polish", Moves: res.Moves, LeakQNW: lq, Yield: y})
+				o.report(Progress{Optimizer: "statistical", Phase: "polish", Moves: base + t.Moves, Round: t.Rounds, LeakQNW: lq, Yield: yield})
 			}
-			accepted = true
-			break
-		}
-		if !accepted {
-			break
-		}
-	}
-	return nil
+			return nil
+		},
+		RoundDone: func(accepted int, t *search.Tally) (bool, error) {
+			return accepted == 0, nil
+		},
+	})
+	addTally(&res.Result, tally)
+	return err
 }
 
 // statCand is one scored phase-B candidate.

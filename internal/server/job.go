@@ -158,6 +158,7 @@ func (r *Request) options(tmaxPs float64) opt.Options {
 type Snapshot struct {
 	Phase       string  `json:"phase,omitempty"`
 	Moves       int     `json:"moves"`
+	Round       int     `json:"round,omitempty"`          // search rounds driven in the current phase
 	BestLeakQNW float64 `json:"best_leak_q_nw,omitempty"` // lowest objective-percentile leakage seen [nW]
 	Yield       float64 `json:"yield,omitempty"`          // last reported timing yield at Tmax
 }
@@ -259,6 +260,7 @@ func (j *Job) observe(ev opt.Progress) {
 	defer j.mu.Unlock()
 	j.snapshot.Phase = ev.Phase
 	j.snapshot.Moves = ev.Moves
+	j.snapshot.Round = ev.Round
 	if ev.LeakQNW > 0 && (j.snapshot.BestLeakQNW <= 0 || ev.LeakQNW < j.snapshot.BestLeakQNW) {
 		j.snapshot.BestLeakQNW = ev.LeakQNW
 	}

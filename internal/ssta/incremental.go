@@ -33,6 +33,9 @@ type Incremental struct {
 	order []int
 	pos   []int // topo position per node
 	res   *Result
+
+	journal *incJournal // non-nil while a scoring round records undo state
+	spare   *incJournal // retired journal kept to reuse its allocations
 }
 
 // NewIncremental runs one full analysis and wraps it for updates.
@@ -139,6 +142,9 @@ func (inc *Incremental) Update(changed ...int) int {
 		}
 		if canonicalEqual(next, inc.res.Arrivals[id]) {
 			continue // cone converged: nothing downstream can change
+		}
+		if inc.journal != nil {
+			inc.journal.note(inc, id)
 		}
 		inc.res.Arrivals[id] = next
 		for _, s := range g.Fanout {

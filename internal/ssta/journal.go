@@ -1,0 +1,69 @@
+package ssta
+
+// Journal support: a persistent scoring worker (see engine.ScoreAll)
+// records every arrival form an Update overwrites and restores them
+// when the round ends, returning the timer bitwise to its pre-round
+// state. Recording is O(cones touched): the circuit-delay form is
+// snapshotted once, each arrival only on its first overwrite. The old
+// Canonical values are kept by value — Max/Add always allocate fresh
+// Sens slices, so a replaced form's slice is never written again and
+// can be held without copying.
+type incJournal struct {
+	delay Canonical
+	ids   []int
+	olds  []Canonical
+
+	// First-touch detection by generation stamp: stamp[id] == gen marks
+	// id as already recorded this round. Bumping gen retires a whole
+	// round in O(1) — no per-round map clearing on the scoring hot path.
+	stamp []int
+	gen   int
+}
+
+// StartJournal begins recording. Every Update until RestoreJournal is
+// undone exactly by RestoreJournal; nesting is not supported (a second
+// Start before Restore re-snapshots and forgets the first).
+func (inc *Incremental) StartJournal() {
+	j := inc.journal
+	if j == nil {
+		j = inc.spare
+		if j == nil {
+			j = &incJournal{}
+		}
+		inc.spare = nil
+		inc.journal = j
+	}
+	if len(j.stamp) < len(inc.res.Arrivals) {
+		j.stamp = make([]int, len(inc.res.Arrivals))
+		j.gen = 0
+	}
+	j.gen++
+	j.delay = inc.res.Delay
+	j.ids = j.ids[:0]
+	j.olds = j.olds[:0]
+}
+
+// RestoreJournal puts the timing view back to its StartJournal state
+// bitwise and stops recording. A no-op if no journal is active.
+func (inc *Incremental) RestoreJournal() {
+	j := inc.journal
+	if j == nil {
+		return
+	}
+	for i, id := range j.ids {
+		inc.res.Arrivals[id] = j.olds[i]
+	}
+	inc.res.Delay = j.delay
+	inc.journal = nil
+	inc.spare = j // keep the allocations for the next round
+}
+
+// note records the arrival form of node id before its first overwrite.
+func (j *incJournal) note(inc *Incremental, id int) {
+	if j.stamp[id] == j.gen {
+		return
+	}
+	j.stamp[id] = j.gen
+	j.ids = append(j.ids, id)
+	j.olds = append(j.olds, inc.res.Arrivals[id])
+}
