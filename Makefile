@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint build test race bench bench-json experiments-output fuzz daemon
+.PHONY: ci lint vet statleaklint build test race chaos bench bench-json experiments-output fuzz daemon
 
-ci: lint build test race fuzz
+ci: lint build test race chaos fuzz
 
 # lint = go vet plus the repository's own analyzer suite. statleaklint
 # enforces the engine's determinism/transactionality invariants; see
@@ -29,6 +29,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection suite — server.FailPoints panics,
+# hangs, and transient errors driving the worker pool's recovery,
+# deadline, and retry/backoff policy — under the race detector. The
+# same tests ride along in test/race; the dedicated target is the
+# fast iteration loop for the job path (see DESIGN.md §8).
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/server
 
 # bench runs every benchmark in the repository: the root evaluation
 # harness (bench_test.go / DESIGN.md §5) plus the package-level

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	statleakd -addr :8080 -workers 4 -queue 32 -result-ttl 15m
+//	statleakd -addr :8080 -workers 4 -queue 32 -result-ttl 15m \
+//	          -job-timeout 1h -retry-base 1s
 //
 // Endpoints: POST/GET/DELETE /v1/jobs[/{id}[/result]], /metrics,
 // /healthz, /debug/pprof/. See internal/server and the README
@@ -37,6 +38,8 @@ func main() {
 		queueDepth   = flag.Int("queue", 16, "pending-job queue capacity")
 		resultTTL    = flag.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay fetchable")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+		jobTimeout   = flag.Duration("job-timeout", time.Hour, "per-attempt wall-clock cap and default (0 disables; requests may ask for less via timeout_sec)")
+		retryBase    = flag.Duration("retry-base", time.Second, "first retry backoff for jobs submitted with max_retries (doubles per attempt)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -48,10 +51,12 @@ func main() {
 	log := obs.NewLogger(os.Stderr, lvl)
 
 	mgr := server.NewManager(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		ResultTTL:  *resultTTL,
-		Log:        log,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		ResultTTL:      *resultTTL,
+		MaxJobTimeout:  *jobTimeout,
+		RetryBaseDelay: *retryBase,
+		Log:            log,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -40,3 +40,18 @@ func stdIdioms(f *os.File) {
 	defer f.Close()
 	_ = n
 }
+
+// Retry shape that swallows failures: a bounded re-run loop must
+// propagate (or at least record) each attempt's error so the terminal
+// failure carries a cause — blanking it converts "failed after N
+// attempts because X" into a silent giveup.
+func retries(max int) bool {
+	for attempt := 0; attempt <= max; attempt++ {
+		if _, err := eval(); err == nil {
+			return true
+		}
+		apply() // want `error result of apply ignored`
+	}
+	_ = apply() // want `error result of apply discarded with _`
+	return false
+}

@@ -23,3 +23,18 @@ func validate(c *logic.Circuit) error {
 	_ = vals
 	return nil
 }
+
+// Retry shape that stays finding-free: every attempt's error is
+// either consumed by the retry decision or propagated as the last
+// error when the budget is exhausted.
+func retryValidate(c *logic.Circuit, max int) error {
+	var last error
+	for attempt := 0; attempt <= max; attempt++ {
+		if err := c.Validate(); err == nil {
+			return nil
+		} else {
+			last = err
+		}
+	}
+	return last
+}

@@ -274,6 +274,28 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	}).(*CounterVec)
 }
 
+// Values returns a flat snapshot of every sample the registry would
+// expose, keyed exactly like the exposition line's key —
+// name[suffix][{labels}], e.g. "statleak_jobs_panicked_total" or
+// `statleak_jobs_finished_total{state="failed"}`. Tests and
+// programmatic health checks assert on metric deltas with it instead
+// of re-parsing the text format.
+func (r *Registry) Values() map[string]float64 {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, e := range entries {
+		for _, s := range e.c.collect() {
+			out[e.name+s.suffix+s.labels] = s.value
+		}
+	}
+	return out
+}
+
 // WritePrometheus renders every registered family in Prometheus text
 // exposition format 0.0.4, sorted by family name.
 func (r *Registry) WritePrometheus(w io.Writer) error {

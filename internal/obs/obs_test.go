@@ -69,6 +69,28 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestRegistryValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_panics_total", "panics").Add(2)
+	r.Gauge("test_depth", "depth").Set(1.5)
+	r.CounterVec("test_finished_total", "finished", "state").With("failed").Inc()
+	r.Histogram("test_wait_seconds", "wait", []float64{1}).Observe(0.5)
+	vals := r.Values()
+	for key, want := range map[string]float64{
+		"test_panics_total":                    2,
+		"test_depth":                           1.5,
+		`test_finished_total{state="failed"}`:  1,
+		`test_wait_seconds_bucket{le="1"}`:     1,
+		`test_wait_seconds_bucket{le="+Inf"}`:  1,
+		"test_wait_seconds_sum":                0.5,
+		"test_wait_seconds_count":              1,
+	} {
+		if got := vals[key]; got != want {
+			t.Errorf("Values()[%q] = %g, want %g", key, got, want)
+		}
+	}
+}
+
 func TestCounterVec(t *testing.T) {
 	r := NewRegistry()
 	v := r.CounterVec("test_moves_total", "moves", "optimizer")

@@ -1,0 +1,441 @@
+// Chaos suite: fault injection through server.FailPoints, run under
+// -race by `make chaos` (and the ordinary test/race targets). Each
+// test drives one failure mode the daemon must survive: a panicking
+// execute, a hung execute vs the per-job deadline, transient errors
+// vs the retry/backoff policy, and the API lifecycle races around
+// them (cancel-during-retry-wait, janitor eviction during DELETE,
+// concurrent Shutdown).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// waitJob polls a job directly (no HTTP) until pred holds.
+func waitJob(t *testing.T, job *Job, timeout time.Duration, pred func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := job.status()
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: condition not reached, last %+v", job.ID, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// hangByName returns an Execute failpoint that blocks jobs with the
+// given name until their context is done (a wedged run that does
+// honor cancellation — the worker abandons it at the deadline either
+// way) and passes everything else through to the real execute.
+func hangByName(name string) func(context.Context, *Job) (*Outcome, error, bool) {
+	return func(ctx context.Context, job *Job) (*Outcome, error, bool) {
+		if job.Req.Name != name {
+			return nil, nil, false
+		}
+		<-ctx.Done()
+		return nil, ctx.Err(), true
+	}
+}
+
+// TestChaosPanicIsolation proves one poisoned job cannot take the
+// daemon down: the panic is recovered into a failed status carrying
+// the panic value and stack, the panic counter increments, and the
+// same manager keeps serving — the next submission runs to done and
+// /healthz stays 200.
+func TestChaosPanicIsolation(t *testing.T) {
+	fp := &FailPoints{
+		Execute: func(ctx context.Context, job *Job) (*Outcome, error, bool) {
+			if job.Req.Name == "boom" {
+				panic("invariant violated: poisoned netlist")
+			}
+			return nil, nil, false
+		},
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, FailPoints: fp})
+	before := obs.Default.Values()["statleak_jobs_panicked_total"]
+
+	st := submitJob(t, ts, Request{Netlist: bench.C17, Name: "boom", Optimizer: "deterministic"})
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	if final.State != StateFailed {
+		t.Fatalf("panicked job ended %q, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "panic: invariant violated: poisoned netlist") {
+		t.Errorf("errMsg missing the panic value: %q", final.Error)
+	}
+	if !strings.Contains(final.Error, "goroutine") {
+		t.Errorf("errMsg missing the stack trace: %q", final.Error)
+	}
+	if got := obs.Default.Values()["statleak_jobs_panicked_total"]; got != before+1 {
+		t.Errorf("statleak_jobs_panicked_total = %g, want %g", got, before+1)
+	}
+
+	// The worker survived: the daemon still reports healthy and the
+	// next job on the same manager completes.
+	if code, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz after panic: %d %s", code, body)
+	}
+	st2 := submitJob(t, ts, Request{Netlist: bench.C17, Name: "ok", Optimizer: "deterministic"})
+	if f2 := pollUntil(t, ts, st2.ID, time.Minute, func(s Status) bool { return s.State.terminal() }); f2.State != StateDone {
+		t.Fatalf("job after panic ended %q (err %q), want done", f2.State, f2.Error)
+	}
+}
+
+// TestChaosDeadlineKillsHungJob proves timeout_sec frees the worker
+// from a hung execute: the job fails with the distinct "deadline
+// exceeded" outcome close to its budget, and the worker immediately
+// serves the next job.
+func TestChaosDeadlineKillsHungJob(t *testing.T) {
+	fp := &FailPoints{Execute: hangByName("hang")}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, FailPoints: fp})
+
+	st := submitJob(t, ts, Request{Netlist: bench.C17, Name: "hang", Optimizer: "deterministic", TimeoutSec: 0.3})
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	if final.State != StateFailed || final.Error != "deadline exceeded" {
+		t.Fatalf("hung job ended %q (err %q), want failed/deadline exceeded", final.State, final.Error)
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Fatalf("missing timestamps: %+v", final)
+	}
+	elapsed := final.Finished.Sub(*final.Started)
+	if elapsed < 250*time.Millisecond || elapsed > 10*time.Second {
+		t.Errorf("deadline fired after %v, want ≈300ms", elapsed)
+	}
+
+	st2 := submitJob(t, ts, Request{Netlist: bench.C17, Name: "ok", Optimizer: "deterministic"})
+	if f2 := pollUntil(t, ts, st2.ID, time.Minute, func(s Status) bool { return s.State.terminal() }); f2.State != StateDone {
+		t.Fatalf("job after hang ended %q (err %q), want done", f2.State, f2.Error)
+	}
+}
+
+// TestChaosServerTimeoutCap proves Config.MaxJobTimeout caps a
+// request that asks for far more than the server allows.
+func TestChaosServerTimeoutCap(t *testing.T) {
+	fp := &FailPoints{Execute: hangByName("hang")}
+	m := NewManager(Config{Workers: 1, MaxJobTimeout: 300 * time.Millisecond, FailPoints: fp})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	}()
+
+	job, err := m.Submit(Request{Netlist: bench.C17, Name: "hang", Optimizer: "deterministic", TimeoutSec: 3600})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final := waitJob(t, job, 10*time.Second, func(s Status) bool { return s.State.terminal() })
+	if final.State != StateFailed || final.Error != "deadline exceeded" {
+		t.Fatalf("capped job ended %q (err %q), want failed/deadline exceeded", final.State, final.Error)
+	}
+	if elapsed := final.Finished.Sub(*final.Started); elapsed > 5*time.Second {
+		t.Errorf("server cap did not bound the run: %v", elapsed)
+	}
+}
+
+// TestChaosRetryBackoff proves a transiently failing job is re-run
+// exactly MaxRetries times with growing backoff, that the attempt
+// count is visible over the HTTP API, and that the final attempt's
+// success lands the job in done.
+func TestChaosRetryBackoff(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		times []time.Time
+	)
+	fp := &FailPoints{
+		Execute: func(ctx context.Context, job *Job) (*Outcome, error, bool) {
+			if job.Req.Name != "flaky" {
+				return nil, nil, false
+			}
+			mu.Lock()
+			times = append(times, time.Now())
+			n := len(times)
+			mu.Unlock()
+			if n <= 3 {
+				return nil, Transient(errors.New("spurious worker loss")), true
+			}
+			return nil, nil, false // 4th attempt: run the real execute
+		},
+	}
+	base := 50 * time.Millisecond
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, RetryBaseDelay: base, FailPoints: fp})
+	before := obs.Default.Values()["statleak_job_retries_total"]
+
+	st := submitJob(t, ts, Request{Netlist: bench.C17, Name: "flaky", Optimizer: "deterministic", MaxRetries: 3})
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	if final.State != StateDone {
+		t.Fatalf("flaky job ended %q (err %q), want done", final.State, final.Error)
+	}
+	if final.Attempt != 4 {
+		t.Fatalf("Attempt = %d, want 4 (1 run + 3 retries)", final.Attempt)
+	}
+	// The attempt count is part of the raw HTTP status payload.
+	if code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, nil); code != http.StatusOK || !bytes.Contains(body, []byte(`"attempt": 4`)) {
+		t.Errorf("attempt not visible over HTTP: %d %s", code, body)
+	}
+	if got := obs.Default.Values()["statleak_job_retries_total"]; got != before+3 {
+		t.Errorf("statleak_job_retries_total delta = %g, want 3", got-before)
+	}
+
+	// Backoff grows exponentially: gaps ≈ base·2^(k−1) ± 15% jitter
+	// (scheduling noise only adds). Bound below, and require the third
+	// gap to dominate the first.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != 4 {
+		t.Fatalf("execute ran %d times, want 4", len(times))
+	}
+	gaps := []time.Duration{times[1].Sub(times[0]), times[2].Sub(times[1]), times[3].Sub(times[2])}
+	for k, gap := range gaps {
+		if min := time.Duration(float64(base) * 0.8 * float64(int(1)<<k)); gap < min {
+			t.Errorf("gap %d = %v, want >= %v (backoff must grow)", k+1, gap, min)
+		}
+	}
+	if gaps[2] <= gaps[0] {
+		t.Errorf("backoff not growing: gaps %v", gaps)
+	}
+}
+
+// TestChaosPermanentErrorsNotRetried proves the retry budget is never
+// spent on failures re-running cannot fix: an injected permanent
+// error and a real parse failure both end failed on attempt 1.
+func TestChaosPermanentErrorsNotRetried(t *testing.T) {
+	fp := &FailPoints{
+		Execute: func(ctx context.Context, job *Job) (*Outcome, error, bool) {
+			if job.Req.Name == "bad" {
+				return nil, errors.New("unparseable blob"), true
+			}
+			return nil, nil, false
+		},
+	}
+	m := NewManager(Config{Workers: 1, RetryBaseDelay: 10 * time.Millisecond, FailPoints: fp})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	}()
+	before := obs.Default.Values()["statleak_job_retries_total"]
+
+	injected, err := m.Submit(Request{Netlist: bench.C17, Name: "bad", Optimizer: "deterministic", MaxRetries: 3})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	parseFail, err := m.Submit(Request{Netlist: "THIS IS ( NOT A NETLIST", Name: "garbage", MaxRetries: 3})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	for _, job := range []*Job{injected, parseFail} {
+		final := waitJob(t, job, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+		if final.State != StateFailed {
+			t.Errorf("job %s ended %q (err %q), want failed", job.ID, final.State, final.Error)
+		}
+		if final.Attempt != 1 {
+			t.Errorf("job %s ran %d attempts, want 1 (permanent errors never retry)", job.ID, final.Attempt)
+		}
+	}
+	if got := obs.Default.Values()["statleak_job_retries_total"]; got != before {
+		t.Errorf("statleak_job_retries_total delta = %g, want 0", got-before)
+	}
+}
+
+// TestChaosRetriesExhausted proves a job that keeps failing
+// transiently goes terminal after 1 + MaxRetries attempts with the
+// last error preserved.
+func TestChaosRetriesExhausted(t *testing.T) {
+	fp := &FailPoints{
+		Execute: func(ctx context.Context, job *Job) (*Outcome, error, bool) {
+			return nil, Transient(errors.New("flaky backend")), true
+		},
+	}
+	m := NewManager(Config{Workers: 1, RetryBaseDelay: 10 * time.Millisecond, FailPoints: fp})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	}()
+
+	job, err := m.Submit(Request{Netlist: bench.C17, Name: "flaky", MaxRetries: 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final := waitJob(t, job, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	if final.State != StateFailed || !strings.Contains(final.Error, "flaky backend") {
+		t.Fatalf("exhausted job: state %q err %q, want failed with the last error", final.State, final.Error)
+	}
+	if final.Attempt != 3 {
+		t.Fatalf("Attempt = %d, want 3 (1 run + 2 retries)", final.Attempt)
+	}
+}
+
+// TestChaosCancelDuringRetryWait proves DELETE lands while a job is
+// waiting out its backoff: the job flips to cancelled immediately and
+// the pending retry is dropped instead of resurrecting it.
+func TestChaosCancelDuringRetryWait(t *testing.T) {
+	fp := &FailPoints{
+		Execute: func(ctx context.Context, job *Job) (*Outcome, error, bool) {
+			return nil, Transient(errors.New("flaky backend")), true
+		},
+	}
+	// A long base delay keeps the job parked in the backoff wait.
+	_, ts := newTestServer(t, Config{Workers: 1, RetryBaseDelay: 5 * time.Second, FailPoints: fp})
+
+	st := submitJob(t, ts, Request{Netlist: bench.C17, Name: "flaky", MaxRetries: 5})
+	pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool {
+		return s.State == StatePending && s.Attempt == 1
+	})
+
+	code, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if code != http.StatusAccepted || !bytes.Contains(body, []byte(`"cancelled"`)) {
+		t.Fatalf("cancel during retry wait: %d %s", code, body)
+	}
+	// The cancellation sticks: no later attempt revives the job.
+	time.Sleep(300 * time.Millisecond)
+	final := pollUntil(t, ts, st.ID, 5*time.Second, func(s Status) bool { return s.State.terminal() })
+	if final.State != StateCancelled || final.Attempt != 1 {
+		t.Fatalf("after cancel: state %q attempt %d, want cancelled/1", final.State, final.Attempt)
+	}
+}
+
+// TestChaosCancelEvictionRace is the regression test for the DELETE
+// handler nil-deref: the janitor (simulated by the AfterCancel
+// failpoint) evicts the job between Manager.Cancel and the response
+// being written. The handler must answer from Cancel's own snapshot —
+// on the pre-fix code this request crashed the connection.
+func TestChaosCancelEvictionRace(t *testing.T) {
+	var (
+		m  *Manager
+		ts *httptest.Server
+	)
+	fp := &FailPoints{
+		Execute: hangByName("hang"),
+		AfterCancel: func(id string) {
+			m.mu.Lock()
+			delete(m.jobs, id)
+			m.mu.Unlock()
+		},
+	}
+	m, ts = newTestServer(t, Config{Workers: 1, QueueDepth: 8, FailPoints: fp})
+
+	// Occupy the only worker so the victim job stays pending.
+	blocker := submitJob(t, ts, Request{Netlist: bench.C17, Name: "hang"})
+	pollUntil(t, ts, blocker.ID, 30*time.Second, func(s Status) bool { return s.State == StateRunning })
+	victim := submitJob(t, ts, Request{Netlist: bench.C17, Name: "victim"})
+
+	code, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+victim.ID, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("DELETE with concurrent eviction: %d %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil || st.ID != victim.ID || st.State != StateCancelled {
+		t.Fatalf("DELETE response should be the cancel snapshot: %s (err %v)", body, err)
+	}
+	// The job really is gone, and the daemon survived the race.
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+victim.ID, nil); code != http.StatusNotFound {
+		t.Errorf("evicted job GET: got %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz after eviction race: %d", code)
+	}
+	// Unblock the worker so teardown drains fast.
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil); code != http.StatusAccepted {
+		t.Errorf("cancel blocker: %d", code)
+	}
+}
+
+// TestChaosPendingTimestampsOmitted is the regression test for the
+// time.Time/omitempty no-op: a job that has not started must not
+// serialize a zero "started"/"finished", and a running one must not
+// serialize "finished".
+func TestChaosPendingTimestampsOmitted(t *testing.T) {
+	fp := &FailPoints{Execute: hangByName("hang")}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, FailPoints: fp})
+
+	blocker := submitJob(t, ts, Request{Netlist: bench.C17, Name: "hang"})
+	pollUntil(t, ts, blocker.ID, 30*time.Second, func(s Status) bool { return s.State == StateRunning })
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", Request{Netlist: bench.C17, Name: "queued"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	for _, field := range []string{`"started"`, `"finished"`, `"attempt"`, `"0001-01-01`} {
+		if bytes.Contains(body, []byte(field)) {
+			t.Errorf("pending status leaks %s: %s", field, body)
+		}
+	}
+
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+blocker.ID, nil)
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"started"`)) {
+		t.Errorf("running status should carry started: %d %s", code, body)
+	}
+	if bytes.Contains(body, []byte(`"finished"`)) {
+		t.Errorf("running status leaks finished: %s", body)
+	}
+
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil); code != http.StatusAccepted {
+		t.Errorf("cancel blocker: %d", code)
+	}
+}
+
+// TestChaosDoubleShutdown is the regression test for the re-entrant
+// Shutdown: a second caller used to see closed == true and return nil
+// immediately while the first was still draining. It must instead
+// block until quiescence.
+func TestChaosDoubleShutdown(t *testing.T) {
+	fp := &FailPoints{Execute: hangByName("hang")}
+	m := NewManager(Config{Workers: 1, FailPoints: fp})
+
+	job, err := m.Submit(Request{Netlist: bench.C17, Name: "hang"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, job, 30*time.Second, func(s Status) bool { return s.State == StateRunning })
+
+	firstErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+		defer cancel()
+		firstErr <- m.Shutdown(ctx)
+	}()
+	// Wait until the first Shutdown has actually begun the drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first Shutdown never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	// The second caller must not return before the manager is
+	// quiescent: the hung job has been force-cancelled by then.
+	if st := job.status(); !st.State.terminal() {
+		t.Fatalf("second Shutdown returned before quiescence: job still %q", st.State)
+	}
+	if err := <-firstErr; err == nil {
+		t.Error("first Shutdown should report its missed drain deadline")
+	}
+}

@@ -66,13 +66,18 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if _, ok := m.Cancel(id); !ok {
+		// The response is built from Cancel's own snapshot: re-fetching
+		// the job here would race the janitor, which may evict it
+		// between the two calls (see TestChaosCancelEvictionRace).
+		st, ok := m.Cancel(r.PathValue("id"))
+		if !ok {
 			writeErr(w, http.StatusNotFound, "no such job")
 			return
 		}
-		job, _ := m.Get(id)
-		writeJSON(w, http.StatusAccepted, job.status())
+		if fp := m.cfg.FailPoints; fp != nil && fp.AfterCancel != nil {
+			fp.AfterCancel(st.ID)
+		}
+		writeJSON(w, http.StatusAccepted, st)
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {

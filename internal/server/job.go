@@ -83,7 +83,23 @@ type Request struct {
 	// optimized design with the given seed (default seed 1).
 	MCSamples int   `json:"mc_samples,omitempty"`
 	Seed      int64 `json:"seed,omitempty"`
+
+	// TimeoutSec bounds one attempt's wall-clock runtime [s]; 0 defers
+	// to the server's Config.MaxJobTimeout, which also caps explicit
+	// values. An attempt over its deadline fails with "deadline
+	// exceeded" (distinct from cancellation) and counts as transient
+	// for the retry policy.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// MaxRetries re-runs the job after transient failures — recovered
+	// panics, deadline expiries, errors marked server.Transient — with
+	// exponential backoff, at most MaxRetries extra attempts (capped
+	// at MaxRetriesCap). Validation errors are never retried.
+	MaxRetries int `json:"max_retries,omitempty"`
 }
+
+// MaxRetriesCap bounds Request.MaxRetries: beyond a handful of
+// re-runs a failure is not transient, it is the workload.
+const MaxRetriesCap = 10
 
 // Validate checks the request shape without building anything.
 func (r *Request) Validate() error {
@@ -114,6 +130,12 @@ func (r *Request) Validate() error {
 	}
 	if r.MCSamples < 0 || r.MaxMoves < 0 {
 		return fmt.Errorf("mc_samples and max_moves must be >= 0")
+	}
+	if r.TimeoutSec < 0 {
+		return fmt.Errorf("timeout_sec must be >= 0")
+	}
+	if r.MaxRetries < 0 || r.MaxRetries > MaxRetriesCap {
+		return fmt.Errorf("max_retries %d out of range [0, %d]", r.MaxRetries, MaxRetriesCap)
 	}
 	if _, err := tech.Preset(r.preset()); err != nil {
 		return err
@@ -215,41 +237,62 @@ type Job struct {
 	Req     Request
 	Created time.Time
 
-	mu       sync.Mutex
-	state    State
-	started  time.Time
-	finished time.Time
-	snapshot Snapshot
-	outcome  *Outcome
-	errMsg   string
-	cancel   context.CancelFunc
-	expires  time.Time
+	mu              sync.Mutex
+	state           State
+	attempt         int // runs started; >1 means the job was retried
+	cancelRequested bool
+	started         time.Time
+	finished        time.Time
+	snapshot        Snapshot
+	outcome         *Outcome
+	errMsg          string
+	cancel          context.CancelFunc
+	expires         time.Time
 }
 
 // Status is the JSON view of a job's lifecycle for the API.
 type Status struct {
-	ID       string    `json:"id"`
-	State    State     `json:"state"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started,omitempty"`
-	Finished time.Time `json:"finished,omitempty"`
-	Progress Snapshot  `json:"progress"`
-	Error    string    `json:"error,omitempty"`
+	ID      string    `json:"id"`
+	State   State     `json:"state"`
+	Created time.Time `json:"created"`
+	// Started/Finished are pointers because `omitempty` is a no-op for
+	// struct values: with time.Time a pending job would serialize
+	// "started": "0001-01-01T00:00:00Z" instead of omitting the field.
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Attempt is the 1-based count of runs started; values above 1
+	// mean the retry policy re-ran the job.
+	Attempt  int      `json:"attempt,omitempty"`
+	Progress Snapshot `json:"progress"`
+	Error    string   `json:"error,omitempty"`
 }
 
 // status snapshots the job under its lock.
 func (j *Job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return Status{
+	return j.statusLocked()
+}
+
+// statusLocked builds the status snapshot; j.mu must be held.
+func (j *Job) statusLocked() Status {
+	st := Status{
 		ID:       j.ID,
 		State:    j.state,
 		Created:  j.Created,
-		Started:  j.started,
-		Finished: j.finished,
+		Attempt:  j.attempt,
 		Progress: j.snapshot,
 		Error:    j.errMsg,
 	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
 }
 
 // observe is the opt.Options.Progress sink: it folds an optimizer
@@ -258,6 +301,12 @@ func (j *Job) status() Status {
 func (j *Job) observe(ev opt.Progress) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		// Late snapshot from an abandoned attempt (a hung execute the
+		// worker gave up on) — drop it rather than scribble over a
+		// terminal or retry-pending status.
+		return
+	}
 	j.snapshot.Phase = ev.Phase
 	j.snapshot.Moves = ev.Moves
 	j.snapshot.Round = ev.Round

@@ -26,6 +26,10 @@ var (
 		"jobs currently executing")
 	metJobSeconds = obs.Default.Histogram("statleak_job_run_seconds",
 		"wall-clock latency of finished jobs (running time only)", nil)
+	metJobsPanicked = obs.Default.Counter("statleak_jobs_panicked_total",
+		"execute panics recovered by the worker pool")
+	metJobRetries = obs.Default.Counter("statleak_job_retries_total",
+		"failed attempts re-enqueued with backoff")
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
@@ -44,6 +48,19 @@ type Config struct {
 	// ResultTTL is how long a terminal job stays fetchable (default
 	// 15 min). The janitor evicts expired jobs.
 	ResultTTL time.Duration
+	// MaxJobTimeout caps — and, for requests without timeout_sec,
+	// supplies — the per-attempt wall-clock budget. 0 means no
+	// server-side deadline (the library default; statleakd sets it
+	// from -job-timeout).
+	MaxJobTimeout time.Duration
+	// RetryBaseDelay is the first retry backoff (default 1s); it
+	// doubles per attempt up to RetryMaxDelay (default 1 min), with
+	// ±15% deterministic jitter. See retryBackoff.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// FailPoints injects deterministic faults at the execute boundary
+	// (nil in production). See the type's doc in fault.go.
+	FailPoints *FailPoints
 	// Log receives job lifecycle events (nil ⇒ silent).
 	Log *obs.Logger
 }
@@ -57,6 +74,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultTTL <= 0 {
 		c.ResultTTL = 15 * time.Minute
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = time.Second
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = time.Minute
 	}
 	return c
 }
@@ -78,6 +101,9 @@ type Manager struct {
 
 	queue       chan *Job
 	wg          sync.WaitGroup // workers only
+	retryWG     sync.WaitGroup // retry-backoff waiters (fault.go)
+	retryStop   chan struct{}  // closed when Shutdown begins: aborts backoff waits
+	drainDone   chan struct{}  // closed when the first Shutdown reaches quiescence
 	janitorDone chan struct{}
 }
 
@@ -92,6 +118,8 @@ func NewManager(cfg Config) *Manager {
 		baseCancel: cancel,
 		jobs:        make(map[string]*Job),
 		queue:       make(chan *Job, cfg.QueueDepth),
+		retryStop:   make(chan struct{}),
+		drainDone:   make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
 	m.wg.Add(cfg.Workers)
@@ -153,14 +181,17 @@ func (m *Manager) Jobs() []*Job {
 	return out
 }
 
-// Cancel requests cancellation. A pending job flips straight to
-// cancelled (the worker skips it when it surfaces); a running job has
-// its context cancelled and the worker records the terminal state.
-// Returns the job's state after the call and whether the ID exists.
-func (m *Manager) Cancel(id string) (State, bool) {
+// Cancel requests cancellation. A pending job — queued or waiting out
+// a retry backoff — flips straight to cancelled (the worker/retry
+// waiter skips it when it surfaces); a running job has its context
+// cancelled and the worker records the terminal state. It returns the
+// job's status snapshot taken under the job lock, so callers (the
+// DELETE handler) never have to re-fetch a job the janitor may have
+// evicted in the meantime.
+func (m *Manager) Cancel(id string) (Status, bool) {
 	j, ok := m.Get(id)
 	if !ok {
-		return "", false
+		return Status{}, false
 	}
 	j.mu.Lock()
 	switch j.state {
@@ -168,20 +199,22 @@ func (m *Manager) Cancel(id string) (State, bool) {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.expires = j.finished.Add(m.cfg.ResultTTL)
+		st := j.statusLocked()
 		j.mu.Unlock()
 		metJobsFinished.With(string(StateCancelled)).Inc()
 		m.log.Info("job cancelled while pending", "id", id)
-		return StateCancelled, true
+		return st, true
 	case StateRunning:
+		j.cancelRequested = true
 		if j.cancel != nil {
 			j.cancel()
 		}
-		st := j.state
+		st := j.statusLocked()
 		j.mu.Unlock()
 		m.log.Info("job cancellation requested", "id", id)
 		return st, true
 	default:
-		st := j.state
+		st := j.statusLocked()
 		j.mu.Unlock()
 		return st, true
 	}
@@ -196,51 +229,98 @@ func (m *Manager) worker() {
 	}
 }
 
-// runJob drives one job through running → terminal.
+// runJob drives one attempt of a job through running → terminal (or
+// back to pending when the retry policy re-enqueues it). Execution
+// itself is delegated to executeGuarded (fault.go), which survives
+// panics and hangs; this function only classifies the outcome.
 func (m *Manager) runJob(job *Job) {
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if d := m.jobTimeout(&job.Req); d > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, d)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
 	defer cancel()
 
 	job.mu.Lock()
-	if job.state != StatePending { // cancelled while queued
+	if job.state != StatePending { // cancelled while queued or retry-waiting
 		job.mu.Unlock()
 		return
 	}
 	job.state = StateRunning
-	job.started = time.Now()
+	job.attempt++
+	attempt := job.attempt
+	if job.started.IsZero() {
+		job.started = time.Now()
+	}
 	job.cancel = cancel
 	job.mu.Unlock()
 	metJobsRunning.Add(1)
-	m.log.Info("job started", "id", job.ID)
+	m.log.Info("job started", "id", job.ID, "attempt", attempt)
 
-	out, err := execute(ctx, job)
+	start := time.Now()
+	out, err := m.executeGuarded(ctx, job)
+	elapsed := time.Since(start)
+	metJobsRunning.Add(-1)
+	metJobSeconds.Observe(elapsed.Seconds())
+
+	// Classify: done / cancelled / failed, and within failed whether
+	// the attempt is worth re-running. "deadline exceeded" is surfaced
+	// verbatim so clients can tell a timeout from a cancellation.
+	var (
+		final     State
+		msg       string
+		retryable bool
+	)
+	switch {
+	case err == nil:
+		final = StateDone
+	case errors.Is(err, context.Canceled):
+		final, msg = StateCancelled, "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		final, msg, retryable = StateFailed, "deadline exceeded", true
+	default:
+		final, msg = StateFailed, err.Error()
+		retryable = IsTransient(err)
+	}
+
+	if final == StateFailed && retryable {
+		job.mu.Lock()
+		// cancelRequested closes the race where a user cancel lands in
+		// the same instant as a retryable failure: the cancel wins.
+		if !job.cancelRequested && attempt <= job.Req.MaxRetries {
+			job.state = StatePending
+			job.errMsg = msg
+			job.cancel = nil
+			job.mu.Unlock()
+			metJobRetries.Inc()
+			m.log.Warn("job attempt failed; retrying", "id", job.ID, "attempt", attempt, "err", msg)
+			m.scheduleRetry(job, attempt, msg)
+			return
+		}
+		job.mu.Unlock()
+	}
 
 	now := time.Now()
 	job.mu.Lock()
 	job.finished = now
 	job.expires = now.Add(m.cfg.ResultTTL)
 	job.cancel = nil
-	var final State
-	switch {
-	case err == nil:
-		final = StateDone
-		job.outcome = out
-	case errors.Is(err, context.Canceled):
-		final = StateCancelled
-		job.errMsg = "cancelled"
-	default:
-		final = StateFailed
-		job.errMsg = err.Error()
-	}
 	job.state = final
-	elapsed := now.Sub(job.started)
+	if final == StateDone {
+		job.outcome = out
+		job.errMsg = ""
+	} else {
+		job.errMsg = msg
+	}
 	job.mu.Unlock()
 
-	metJobsRunning.Add(-1)
 	metJobsFinished.With(string(final)).Inc()
-	metJobSeconds.Observe(elapsed.Seconds())
 	if err != nil {
-		m.log.Warn("job finished", "id", job.ID, "state", string(final), "err", err.Error())
+		m.log.Warn("job finished", "id", job.ID, "state", string(final), "attempt", attempt, "err", msg)
 	} else {
 		m.log.Info("job finished", "id", job.ID, "state", string(final), "sec", fmt.Sprintf("%.3f", elapsed.Seconds()))
 	}
@@ -275,19 +355,33 @@ func (m *Manager) janitor() {
 // and — if ctx expires first — cancels everything still running and
 // waits for the workers to observe it. It returns ctx.Err() when the
 // drain deadline forced cancellation, nil on a clean drain.
+//
+// Shutdown is idempotent, and repeated calls block on the first
+// caller's drain: a second caller (e.g. a second signal racing the
+// first in cmd/statleakd) returns only once the manager is actually
+// quiescent, not the moment it sees closed == true.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil
+		select {
+		case <-m.drainDone:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	m.closed = true
 	m.mu.Unlock()
+	close(m.retryStop) // abort retry-backoff waits: their jobs can't run anymore
 	close(m.queue)
 
 	done := make(chan struct{})
 	go func() {
+		// All retryWG.Adds happen on worker goroutines, so the counter
+		// is final once the workers have exited.
 		m.wg.Wait()
+		m.retryWG.Wait()
 		close(done)
 	}()
 	var err error
@@ -301,5 +395,6 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.baseCancel()
 	<-done
 	<-m.janitorDone
+	close(m.drainDone)
 	return err
 }

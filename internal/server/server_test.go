@@ -144,8 +144,11 @@ func TestJobLifecycle(t *testing.T) {
 	if final.Progress.BestLeakQNW <= 0 {
 		t.Errorf("progress never reported the objective: %+v", final.Progress)
 	}
-	if final.Started.IsZero() || final.Finished.Before(final.Started) {
+	if final.Started == nil || final.Finished == nil || final.Finished.Before(*final.Started) {
 		t.Errorf("bad timestamps: %+v", final)
+	}
+	if final.Attempt != 1 {
+		t.Errorf("attempt = %d, want 1 for a first-try success", final.Attempt)
 	}
 
 	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result", nil)
@@ -288,8 +291,14 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("metric %s: got (%g, present=%v), want > 0", name, v, ok)
 		}
 	}
-	// Gauges that legitimately sit at zero just need to be exported.
-	for _, name := range []string{"statleak_job_queue_depth", "statleak_jobs_running"} {
+	// Gauges and fault counters that legitimately sit at zero just
+	// need to be exported.
+	for _, name := range []string{
+		"statleak_job_queue_depth",
+		"statleak_jobs_running",
+		"statleak_jobs_panicked_total",
+		"statleak_job_retries_total",
+	} {
 		if _, ok := values[name]; !ok {
 			t.Errorf("metric %s missing", name)
 		}
@@ -317,6 +326,9 @@ func TestSubmitValidation(t *testing.T) {
 		{Circuit: "s432", Preset: "28nm"},
 		{Circuit: "s432", Optimizer: "dual"}, // dual without budget
 		{Circuit: "s432", TmaxFactor: 0.5},
+		{Circuit: "s432", TimeoutSec: -1},
+		{Circuit: "s432", MaxRetries: MaxRetriesCap + 1},
+		{Circuit: "s432", MaxRetries: -1},
 	}
 	for i, req := range cases {
 		if code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req); code != http.StatusBadRequest {
