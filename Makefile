@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint build test race chaos bench bench-json experiments-output fuzz daemon
+.PHONY: ci lint vet statleaklint build test race scenario chaos bench bench-json experiments-output fuzz daemon
 
-ci: lint build test race chaos fuzz
+ci: lint build test race scenario chaos fuzz
 
 # lint = go vet plus the repository's own analyzer suite. statleaklint
 # enforces the engine's determinism/transactionality invariants; see
@@ -30,6 +30,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# scenario runs the corner-family suite under the race detector: the
+# Family's cross-corner scoring fan-out, the scenario matrix itself,
+# and the 1×1-matrix golden equivalence guard (family must retrace the
+# single-engine trajectories bit-for-bit).
+scenario:
+	$(GO) test -race -run 'TestFamily|TestScenario|TestCornerView|TestNominalMatrix' ./internal/engine ./internal/scenario ./internal/core ./internal/opt
+
 # chaos runs the fault-injection suite — server.FailPoints panics,
 # hangs, and transient errors driving the worker pool's recovery,
 # deadline, and retry/backoff policy — under the race detector. The
@@ -50,7 +57,7 @@ bench:
 # output as machine-readable JSON (cmd/benchjson), the artifact CI
 # uploads for regression tracking.
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_4.json
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # experiments-output regenerates the committed sample of the
 # experiment driver's output (reduced configuration, deterministic).

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -26,6 +27,12 @@ func main() {
 		samples    = flag.Int("samples", 2000, "Monte Carlo samples per evaluation")
 		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
+
+		corners     = flag.String("corners", "", "scenario-table voltage corners, comma-separated (vl, vn, vh)")
+		temps       = flag.String("temps", "", "scenario-table temperatures [°C], comma-separated")
+		biasDomains = flag.Int("bias-domains", 0, "scenario-table body-bias well islands (0 = no bias axis)")
+		bias        = flag.String("bias", "", "per-domain reverse body bias [V], comma-separated (one value broadcasts)")
+		aggregate   = flag.String("aggregate", "", "corner aggregation: worst (default) or weighted")
 	)
 	flag.Parse()
 
@@ -42,6 +49,13 @@ func main() {
 	ctx.Seed = *seed
 	if *benchmarks != "" {
 		ctx.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	spec, err := scenario.ParseFlags(*corners, *temps, *biasDomains, *bias, *aggregate)
+	if err != nil {
+		fatal(err)
+	}
+	if !spec.IsZero() {
+		ctx.Scenario = spec
 	}
 
 	ids := flag.Args()

@@ -8,6 +8,7 @@
 //	leakopt -bench path/to/c432.bench     # real ISCAS85 netlist file
 //	leakopt -bench path/to/design.v       # structural Verilog (by extension)
 //	leakopt -circuit s880 -mode both -tmax-factor 1.25 -samples 3000
+//	leakopt -circuit s432 -mode stat -corners vl,vh -temps 0,110
 package main
 
 import (
@@ -18,11 +19,13 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/leakage"
 	"repro/internal/libfile"
 	"repro/internal/logic"
 	"repro/internal/montecarlo"
 	"repro/internal/opt"
+	"repro/internal/scenario"
 	"repro/internal/ssta"
 	"repro/internal/tech"
 	"repro/internal/variation"
@@ -41,6 +44,12 @@ func main() {
 		pctile     = flag.Float64("percentile", 0.99, "leakage percentile objective")
 		samples    = flag.Int("samples", 2000, "Monte Carlo samples for the final scoreboard (0 = skip MC)")
 		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
+
+		corners     = flag.String("corners", "", "voltage corners, comma-separated (vl, vn, vh); with -temps spans a scenario matrix")
+		temps       = flag.String("temps", "", "operating temperatures [°C], comma-separated")
+		biasDomains = flag.Int("bias-domains", 0, "body-bias well islands (0 = no bias axis)")
+		biasV       = flag.String("bias", "", "per-domain reverse body bias [V], comma-separated (one value broadcasts)")
+		aggregate   = flag.String("aggregate", "", "corner aggregation: worst (default) or weighted")
 	)
 	flag.Parse()
 
@@ -75,14 +84,33 @@ func main() {
 	o.YieldTarget = *yieldTgt
 	o.LeakPercentile = *pctile
 
+	spec, err := scenario.ParseFlags(*corners, *temps, *biasDomains, *biasV, *aggregate)
+	if err != nil {
+		fatal(err)
+	}
+	if !spec.IsZero() {
+		if o.Scenario, err = spec.Build(); err != nil {
+			fatal(err)
+		}
+	}
+
 	st, err := c.ComputeStats()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("circuit %s: %d gates, %d PIs, %d POs, depth %d\n",
 		c.Name, st.Gates, st.Inputs, st.Outputs, st.Depth)
-	fmt.Printf("Dmin = %.1f ps, Tmax = %.1f ps, yield target = %.2f, objective = q%g leakage\n\n",
+	fmt.Printf("Dmin = %.1f ps, Tmax = %.1f ps, yield target = %.2f, objective = q%g leakage\n",
 		dmin, o.TmaxPs, o.YieldTarget, 100*(*pctile))
+	if o.Scenario != nil {
+		names := make([]string, len(o.Scenario.Corners))
+		for i, c := range o.Scenario.Corners {
+			names[i] = c.Name
+		}
+		fmt.Printf("scenario matrix: %d corners [%s], %s aggregation\n",
+			len(names), strings.Join(names, " "), o.Scenario.Aggregate)
+	}
+	fmt.Println()
 
 	printState("unoptimized (min-size, all LVT)", d, o, *samples, *seed)
 
@@ -96,6 +124,7 @@ func main() {
 		fmt.Printf("deterministic (corner %.1fσ): %d moves (%d ups, %d swaps, %d downs), feasible=%v, %.2fs\n",
 			o.CornerSigma, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
 			res.Feasible, res.Runtime.Seconds())
+		printCorners(res.Corners)
 		printState("deterministic result", det, o, *samples, *seed)
 		if !res.Feasible {
 			infeasible = append(infeasible, "deterministic")
@@ -110,6 +139,7 @@ func main() {
 		fmt.Printf("statistical (yield ≥ %.2f): %d moves (%d ups, %d swaps, %d downs), feasible=%v, %.2fs\n",
 			o.YieldTarget, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
 			res.Feasible, res.Runtime.Seconds())
+		printCorners(res.Corners)
 		printState("statistical result", stat, o, *samples, *seed)
 		if !res.Feasible {
 			infeasible = append(infeasible, "statistical")
@@ -191,6 +221,15 @@ func printState(label string, d *core.Design, o opt.Options, samples int, seed i
 			samples, mc.TimingYield(o.TmaxPs), mc.LeakSummary().Mean, mc.LeakQuantile(0.99))
 	}
 	fmt.Println()
+}
+
+// printCorners lists the per-corner end-state scoreboard of a
+// scenario-family run (empty outside scenario mode).
+func printCorners(cs []engine.CornerMetrics) {
+	for _, c := range cs {
+		fmt.Printf("  corner %-10s yield(Tmax) %.4f, leak q %.0f nW, leak mean %.0f nW, corner delay %.1f ps\n",
+			c.Name+":", c.YieldAtTmax, c.LeakPctNW, c.LeakMeanNW, c.CornerDelayPs)
+	}
 }
 
 func fatal(err error) {

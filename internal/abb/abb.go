@@ -73,7 +73,12 @@ type Result struct {
 }
 
 // YieldNoBias returns the fraction of dies meeting tmax without ABB.
+// An empty result (a run that failed before any die finished) yields
+// 0, not NaN, so the aggregate stays finite on the error path.
 func (r *Result) YieldNoBias(tmax float64) float64 {
+	if len(r.Dies) == 0 {
+		return 0
+	}
 	n := 0
 	for _, d := range r.Dies {
 		if d.DelayNoBias <= tmax {
@@ -84,8 +89,11 @@ func (r *Result) YieldNoBias(tmax float64) float64 {
 }
 
 // YieldBiased returns the fraction of dies meeting tmax with their
-// chosen bias.
+// chosen bias (0 for an empty result, as with YieldNoBias).
 func (r *Result) YieldBiased() float64 {
+	if len(r.Dies) == 0 {
+		return 0
+	}
 	n := 0
 	for _, d := range r.Dies {
 		if d.Met {
@@ -96,8 +104,11 @@ func (r *Result) YieldBiased() float64 {
 }
 
 // LeakSummaries returns sample summaries of the unbiased and biased
-// leakage across dies.
+// leakage across dies (zero summaries for an empty result).
 func (r *Result) LeakSummaries() (noBias, biased stats.Summary) {
+	if len(r.Dies) == 0 {
+		return stats.Summary{}, stats.Summary{}
+	}
 	a := make([]float64, len(r.Dies))
 	b := make([]float64, len(r.Dies))
 	for i, d := range r.Dies {
@@ -133,7 +144,7 @@ func evalDie(d *core.Design, order []int, loads []float64, s *die, biasVth float
 	}
 	delay = sta.MaxDelayWithDelays(d.Circuit, order, delays, scratch, lib.P.DffSetupPs)
 	if math.IsNaN(delay) || math.IsInf(delay, 0) || math.IsNaN(leak) || math.IsInf(leak, 0) {
-		return 0, 0, fmt.Errorf("abb: non-finite die evaluation (delay=%g ps, leak=%g nW) at bias ΔVth=%g V", delay, leak, biasVth)
+		return 0, 0, fmt.Errorf("non-finite die evaluation (delay=%g ps, leak=%g nW) at bias ΔVth=%g V", delay, leak, biasVth)
 	}
 	return delay, leak, nil
 }
@@ -184,7 +195,7 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 		dr := &res.Dies[k]
 		dr.DelayNoBias, dr.LeakNoBias, err = evalDie(d, order, loads, s, 0, delays, scratch)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("abb: die %d: %w", k, err)
 		}
 
 		// Delay grows monotonically with Vbb (reverse bias raises Vth),
@@ -193,14 +204,14 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 		lo, hi := -cfg.MaxForwardV, cfg.MaxReverseV
 		dHi, _, err := evalDie(d, order, loads, s, cfg.GammaBB*hi, delays, scratch)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("abb: die %d: %w", k, err)
 		}
 		if dHi <= tmax {
 			dr.BiasV = hi
 		} else {
 			dLo, lLo, err := evalDie(d, order, loads, s, cfg.GammaBB*lo, delays, scratch)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("abb: die %d: %w", k, err)
 			}
 			if dLo > tmax {
 				// Even max forward bias cannot close timing.
@@ -213,7 +224,7 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 				mid := (lo + hi) / 2
 				dm, _, err := evalDie(d, order, loads, s, cfg.GammaBB*mid, delays, scratch)
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("abb: die %d: %w", k, err)
 				}
 				if dm <= tmax {
 					lo = mid
@@ -225,7 +236,7 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 		}
 		dr.DelayBiased, dr.LeakBiased, err = evalDie(d, order, loads, s, cfg.GammaBB*dr.BiasV, delays, scratch)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("abb: die %d: %w", k, err)
 		}
 		dr.Met = dr.DelayBiased <= tmax
 	}

@@ -2,6 +2,7 @@ package abb_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/abb"
@@ -174,5 +175,77 @@ func TestABBComposesWithStatisticalOptimizer(t *testing.T) {
 	}
 	if math.IsNaN(b.Mean) {
 		t.Fatal("NaN leakage")
+	}
+}
+
+// TestNonFiniteGuard drives evalDie into overflow through the public
+// Run API: an absurd body-effect coefficient times maximum forward bias
+// pushes ΔVth so negative that the exponential leakage model returns
+// +Inf, and the guard must surface that as an error naming the die
+// rather than let the bisection pick a bias off a non-finite delay.
+func TestNonFiniteGuard(t *testing.T) {
+	d, tmax := prepared(t)
+	cases := []struct {
+		name    string
+		mod     func(*abb.Config)
+		tmax    float64
+		wantErr bool
+	}{
+		{name: "default config finite", mod: func(c *abb.Config) {}, tmax: tmax},
+		{
+			// Forward bias lowers Vth by GammaBB*MaxForwardV; a huge product
+			// overflows exp(+beta*|dVth|) in the leakage model. The tiny tmax
+			// forces the search to the forward end on every die.
+			name:    "overflow at max forward bias",
+			mod:     func(c *abb.Config) { c.GammaBB = 1; c.MaxForwardV = 400 },
+			tmax:    1e-6,
+			wantErr: true,
+		},
+		{
+			// Same blow-up reached through the bias magnitude alone.
+			name:    "overflow via bias range",
+			mod:     func(c *abb.Config) { c.MaxForwardV = 4000 },
+			tmax:    1e-6,
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := abb.DefaultConfig()
+			tc.mod(&cfg)
+			res, err := abb.Run(d, cfg, tc.tmax, 3, 1)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("non-finite evaluation not surfaced")
+				}
+				if !strings.Contains(err.Error(), "non-finite") || !strings.Contains(err.Error(), "die") {
+					t.Errorf("error %q does not name the non-finite die", err)
+				}
+				if res != nil {
+					t.Error("result returned alongside error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEmptyResultAggregates pins the empty-Dies guards: the aggregate
+// views of a zero-die result are finite zeros, not NaN, so callers on
+// an error path can still render a scoreboard.
+func TestEmptyResultAggregates(t *testing.T) {
+	var r abb.Result
+	if y := r.YieldNoBias(100); y != 0 {
+		t.Errorf("YieldNoBias on empty result = %g, want 0", y)
+	}
+	if y := r.YieldBiased(); y != 0 {
+		t.Errorf("YieldBiased on empty result = %g, want 0", y)
+	}
+	nb, b := r.LeakSummaries()
+	if math.IsNaN(nb.Mean) || math.IsNaN(b.Mean) {
+		t.Errorf("empty-result leak summaries are NaN: %+v %+v", nb, b)
 	}
 }

@@ -50,9 +50,11 @@ type typeKey struct{ path, name string }
 var SharedTypes = map[typeKey]bool{
 	{"repro/internal/core", "Design"}:         true,
 	{"repro/internal/engine", "Engine"}:       true,
+	{"repro/internal/engine", "Family"}:       true,
 	{"repro/internal/engine", "scoreCtx"}:     true,
 	{"repro/internal/ssta", "Incremental"}:    true,
 	{"repro/internal/leakage", "Accumulator"}: true,
+	{"repro/internal/opt", "evaluator"}:       true,
 }
 
 // CloneMethods are the methods that constitute the engine's clone
@@ -72,23 +74,41 @@ var ImmutableFields = map[typeKey]map[string]bool{
 }
 
 // PolicyPath/PolicyType identify the search-policy struct whose
-// callback literals get the capture discipline, and PolicyHandle the
-// one shared type they may capture: the engine, whose accessors are
-// the sanctioned window onto evaluation state.
+// callback literals get the capture discipline, and PolicyHandles the
+// shared types they may capture: the evaluation handles the driver
+// keeps current between rounds — the engine, the corner family, and
+// opt's evaluator interface over both. Their accessors are the
+// sanctioned window onto evaluation state; a per-corner context pulled
+// out of a Family (f.Engines()[k]) is NOT such a handle and must not
+// be held across rounds.
 var (
-	PolicyPath   = "repro/internal/search"
-	PolicyType   = "Policy"
-	PolicyHandle = typeKey{"repro/internal/engine", "Engine"}
+	PolicyPath    = "repro/internal/search"
+	PolicyType    = "Policy"
+	PolicyHandles = map[typeKey]bool{
+		{"repro/internal/engine", "Engine"}: true,
+		{"repro/internal/engine", "Family"}: true,
+		{"repro/internal/opt", "evaluator"}: true,
+	}
 )
+
+// FamilyCornerAccessors are the engine.Family methods that hand out
+// per-corner evaluation contexts. A variable bound from one of them is
+// corner state, not a driver handle, even though its static type
+// (*engine.Engine) would otherwise pass the policy-handle check.
+var FamilyCornerAccessors = map[string]bool{
+	"Engines": true,
+	"Primary": true,
+}
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue
 		}
+		corner := cornerContextVars(pass, f)
 		policyLits := analysis.CompositeFuncLits(pass, f, PolicyPath, PolicyType)
 		for lit := range policyLits {
-			checkCaptures(pass, lit, policyMode)
+			checkCaptures(pass, lit, policyMode, corner)
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
@@ -96,7 +116,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			if lit, ok := analysis.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
-				checkCaptures(pass, lit, workerMode)
+				checkCaptures(pass, lit, workerMode, nil)
 			}
 			return true
 		})
@@ -135,9 +155,63 @@ const (
 	policyMode
 )
 
+// cornerContextVars collects the file's variables bound from a
+// Family's per-corner accessors (f.Engines()[k], f.Primary()): the
+// taint set the policy check consults so a corner engine cannot pose
+// as the driver handle.
+func cornerContextVars(pass *analysis.Pass, f *ast.File) map[*types.Var]bool {
+	var out map[*types.Var]bool
+	mark := func(lhs ast.Expr) {
+		if id, ok := analysis.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				if out == nil {
+					out = make(map[*types.Var]bool)
+				}
+				out[v] = true
+			}
+		}
+	}
+	fromCorner := func(rhs ast.Expr) bool {
+		found := false
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !FamilyCornerAccessors[sel.Sel.Name] {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok {
+				if k := sharedKey(tv.Type); k == (typeKey{"repro/internal/engine", "Family"}) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i < len(as.Rhs) && fromCorner(as.Rhs[i]) {
+				mark(lhs)
+			} else if len(as.Rhs) == 1 && len(as.Lhs) > 1 && fromCorner(as.Rhs[0]) {
+				mark(lhs)
+			}
+		}
+		return true
+	})
+	return out
+}
+
 // checkCaptures flags captured shared state used outside the clone
 // path inside one closure.
-func checkCaptures(pass *analysis.Pass, lit *ast.FuncLit, mode checkMode) {
+func checkCaptures(pass *analysis.Pass, lit *ast.FuncLit, mode checkMode, corner map[*types.Var]bool) {
 	reported := make(map[token.Pos]bool)
 	analysis.WithStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -165,7 +239,12 @@ func checkCaptures(pass *analysis.Pass, lit *ast.FuncLit, mode checkMode) {
 			return true
 		}
 		if mode == policyMode {
-			if key == PolicyHandle {
+			if corner[obj] {
+				reported[id.Pos()] = true
+				pass.Reportf(id.Pos(), "search policy captures shared %s.%s %q: read evaluation state through the engine handle at call time (e.Design()) instead of holding a pointer across rounds", shortPath(key.path), key.name, id.Name)
+				return true
+			}
+			if PolicyHandles[key] {
 				return true
 			}
 			if rebinding(id, stack) {

@@ -7,9 +7,22 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/leakage"
 	"repro/internal/ssta"
 )
+
+// badFamilyWorker: a corner family is shared mutable state exactly like
+// a single engine — per-corner caches, move logs, worker journals.
+func badFamilyWorker(f *engine.Family, out []float64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out[0] = f.TotalLeak() // want `worker goroutine captures shared engine\.Family "f"`
+	}()
+	wg.Wait()
+}
 
 func badWorkers(d *core.Design, inc *ssta.Incremental, acc *leakage.Accumulator, out []float64) {
 	var wg sync.WaitGroup

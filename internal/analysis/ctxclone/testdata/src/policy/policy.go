@@ -47,3 +47,32 @@ func goodPolicy(e *engine.Engine) (search.Policy, func() *core.Design) {
 	}
 	return p, func() *core.Design { return best }
 }
+
+// familyPolicy: the corner family is a sanctioned handle like the
+// engine — its aggregate accessors are call-time reads the driver
+// keeps consistent between rounds.
+func familyPolicy(f *engine.Family) search.Policy {
+	return search.Policy{
+		Optimizer: "fixture",
+		Propose: func(_ context.Context, t *search.Tally) (*search.Round, error) {
+			use(f.Design())
+			return nil, nil
+		},
+		Verify: func() (bool, error) { return true, nil },
+	}
+}
+
+// cornerCapture: pulling one corner's engine out of the family and
+// holding it across rounds is exactly the stale-context bug the rule
+// exists for — the family commits and replays through its own path.
+func cornerCapture(f *engine.Family) search.Policy {
+	corner := f.Engines()[0]
+	return search.Policy{
+		Optimizer: "fixture",
+		Propose: func(_ context.Context, t *search.Tally) (*search.Round, error) {
+			_, err := corner.Yield() // want `search policy captures shared engine\.Engine "corner"`
+			return nil, err
+		},
+		Verify: func() (bool, error) { return true, nil },
+	}
+}

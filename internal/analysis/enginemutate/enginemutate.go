@@ -1,8 +1,10 @@
 // Package enginemutate defines the statleaklint analyzer that guards
 // the transactional engine's central invariant (PR 1): the per-gate
-// assignment state of a core.Design — the Vth and Size slices — is
-// written only through the engine's Move Apply/Revert path (which
-// precondition-checks every write) or core's validating setters.
+// assignment state of a core.Design — the Vth and Size slices, and
+// since the scenario-family refactor the per-node BiasVth corner
+// context — is written only through the engine's Move Apply/Revert
+// path (which precondition-checks every write), core's validating
+// setters, or the Family-owned corner views core.CornerView builds.
 //
 // A direct slice write from an optimizer desynchronizes the engine's
 // incremental SSTA and factored-leakage caches without tripping any
@@ -27,6 +29,7 @@ package enginemutate
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
@@ -43,7 +46,7 @@ var Analyzer = &analysis.Analyzer{
 var (
 	DesignPath       = "repro/internal/core"
 	DesignType       = "Design"
-	AssignmentFields = map[string]bool{"Vth": true, "Size": true}
+	AssignmentFields = map[string]bool{"Vth": true, "Size": true, "BiasVth": true}
 	// ExemptPkgs may mutate directly: core owns the fields, engine owns
 	// the transactional move path.
 	ExemptPkgs = map[string]bool{
@@ -197,6 +200,13 @@ func aliasing(stack []ast.Node, sel *ast.SelectorExpr) bool {
 			return false // d.Vth[i]: an element access, judged by the caller
 		case *ast.RangeStmt:
 			return false // `for range d.Vth` is a read
+		case *ast.BinaryExpr:
+			// A slice only admits ==/!= against nil: a presence check
+			// (d.BiasVth != nil), not an escape.
+			if parent.Op == token.EQL || parent.Op == token.NEQ {
+				return false
+			}
+			return true
 		case *ast.CallExpr:
 			// len(d.Vth)/cap(d.Vth) are reads; any other call receives
 			// the raw slice and can mutate it out of the engine's sight.

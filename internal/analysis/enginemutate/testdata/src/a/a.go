@@ -13,11 +13,15 @@ func directWrites(d *core.Design, i int) {
 	d.Size[i] += 1.0        // want `direct write to core\.Design\.Size`
 	(d.Vth)[i] = tech.LowVth // want `direct write to core\.Design\.Vth`
 	d.Size = nil            // want `direct write to core\.Design\.Size`
+	d.BiasVth[i] = 0.05     // want `direct write to core\.Design\.BiasVth`
+	d.BiasVth = nil         // want `direct write to core\.Design\.BiasVth`
 }
 
 func aliasing(d *core.Design) []float64 {
 	sizes := d.Size // want `aliasing core\.Design\.Size`
 	consume(d.Vth)  // want `aliasing core\.Design\.Vth`
+	bias := d.BiasVth // want `aliasing core\.Design\.BiasVth`
+	_ = bias
 	return sizes
 }
 
@@ -35,6 +39,9 @@ func reads(d *core.Design, i int) (int, float64) {
 	}
 	if err := d.SetVth(i, tech.LowVth); err != nil { // validating setter: fine
 		n--
+	}
+	if d.BiasVth != nil { // nil check and element read: fine
+		s += d.BiasVth[i]
 	}
 	return n, s + d.Size[i]
 }

@@ -25,6 +25,12 @@ type Design struct {
 	Vth  []tech.VthClass
 	Size []float64
 
+	// BiasVth is an optional per-node threshold shift [V] from body
+	// bias (positive = reverse bias, slower and less leaky). It is
+	// corner context, not assignment: CornerView sets it, moves never
+	// touch it, and nil means the unbiased nominal evaluation path.
+	BiasVth []float64
+
 	isOut []bool // precomputed primary-output membership per node
 }
 
@@ -53,8 +59,8 @@ func NewDesign(c *logic.Circuit, lib *tech.Library, vm *variation.Model) (*Desig
 	return d, nil
 }
 
-// Clone copies the assignment; circuit, library and variation model
-// are shared (they are immutable).
+// Clone copies the assignment; circuit, library, variation model and
+// body-bias vector are shared (they are immutable).
 func (d *Design) Clone() *Design {
 	return &Design{
 		Circuit: d.Circuit,
@@ -62,8 +68,38 @@ func (d *Design) Clone() *Design {
 		Var:     d.Var,
 		Vth:     append([]tech.VthClass(nil), d.Vth...),
 		Size:    append([]float64(nil), d.Size...),
+		BiasVth: d.BiasVth,
 		isOut:   d.isOut,
 	}
+}
+
+// CornerView returns a corner-indexed view of the design: the SAME
+// Vth/Size assignment arrays (aliased — a move applied through either
+// view is immediately visible in both) evaluated against a different
+// library (temperature/supply corner) and an optional per-node
+// body-bias threshold shift. The caller must hand the view to exactly
+// one evaluation context (engine.Family owns this invariant).
+func (d *Design) CornerView(lib *tech.Library, biasVth []float64) (*Design, error) {
+	if lib == nil {
+		lib = d.Lib
+	}
+	if len(lib.Sizes) != len(d.Lib.Sizes) {
+		return nil, fmt.Errorf("core: corner library ladder has %d sizes, base has %d",
+			len(lib.Sizes), len(d.Lib.Sizes))
+	}
+	if biasVth != nil && len(biasVth) != d.Circuit.NumNodes() {
+		return nil, fmt.Errorf("core: bias vector has %d entries for %d nodes",
+			len(biasVth), d.Circuit.NumNodes())
+	}
+	return &Design{
+		Circuit: d.Circuit,
+		Lib:     lib,
+		Var:     d.Var,
+		Vth:     d.Vth,
+		Size:    d.Size,
+		BiasVth: biasVth,
+		isOut:   d.isOut,
+	}, nil
 }
 
 // CopyAssignmentFrom overwrites this design's assignment with src's.
@@ -134,30 +170,45 @@ func (d *Design) Load(id int) float64 {
 }
 
 // GateDelay returns the nominal delay [ps] of node id under the
-// current assignment (0 for primary inputs).
+// current assignment (0 for primary inputs). In a biased corner view
+// "nominal" means at the corner's body-bias point.
 func (d *Design) GateDelay(id int) float64 {
 	g := d.Circuit.Gate(id)
+	if d.BiasVth != nil {
+		return d.Lib.DelayWith(g.Type, d.Vth[id], d.Size[id], d.Load(id), 0, d.BiasVth[id])
+	}
 	return d.Lib.Delay(g.Type, d.Vth[id], d.Size[id], d.Load(id))
 }
 
 // GateDelayWith returns the exact delay [ps] under parameter
 // excursions (ΔLeff in nm, independent ΔVth in V) — the Monte Carlo
-// model.
+// model. Body bias adds to the threshold excursion.
 func (d *Design) GateDelayWith(id int, dLnm, dVthV float64) float64 {
 	g := d.Circuit.Gate(id)
+	if d.BiasVth != nil {
+		dVthV += d.BiasVth[id]
+	}
 	return d.Lib.DelayWith(g.Type, d.Vth[id], d.Size[id], d.Load(id), dLnm, dVthV)
 }
 
 // GateDelayDerivs returns ∂delay/∂ΔLeff [ps/nm] and ∂delay/∂ΔVth
-// [ps/V] at the nominal point — the SSTA linearization.
+// [ps/V] — the SSTA linearization, taken at the corner's bias point
+// when the view is biased and at the nominal point otherwise.
 func (d *Design) GateDelayDerivs(id int) (dPerNm, dPerV float64) {
 	g := d.Circuit.Gate(id)
+	if d.BiasVth != nil {
+		return d.Lib.DelayDerivsWith(g.Type, d.Vth[id], d.Size[id], d.Load(id), d.BiasVth[id])
+	}
 	return d.Lib.DelayDerivs(g.Type, d.Vth[id], d.Size[id], d.Load(id))
 }
 
 // GateLeak returns the nominal leakage power [nW] of node id.
 func (d *Design) GateLeak(id int) float64 {
 	g := d.Circuit.Gate(id)
+	if d.BiasVth != nil {
+		return d.Lib.SubLeakWith(g.Type, d.Vth[id], d.Size[id], d.BiasVth[id]) +
+			d.Lib.GateLeak(g.Type, d.Size[id])
+	}
 	return d.Lib.Leak(g.Type, d.Vth[id], d.Size[id])
 }
 
@@ -165,6 +216,9 @@ func (d *Design) GateLeak(id int) float64 {
 // [nW].
 func (d *Design) GateSubLeak(id int) float64 {
 	g := d.Circuit.Gate(id)
+	if d.BiasVth != nil {
+		return d.Lib.SubLeakWith(g.Type, d.Vth[id], d.Size[id], d.BiasVth[id])
+	}
 	return d.Lib.SubLeak(g.Type, d.Vth[id], d.Size[id])
 }
 
@@ -176,9 +230,13 @@ func (d *Design) GateGateLeak(id int) float64 {
 }
 
 // GateLeakWith returns the exact leakage [nW] under parameter
-// excursions — the Monte Carlo model.
+// excursions — the Monte Carlo model. Body bias adds to the threshold
+// excursion.
 func (d *Design) GateLeakWith(id int, dLnm, dVthV float64) float64 {
 	g := d.Circuit.Gate(id)
+	if d.BiasVth != nil {
+		dVthV += d.BiasVth[id]
+	}
 	return d.Lib.LeakWith(g.Type, d.Vth[id], d.Size[id], dLnm, dVthV)
 }
 

@@ -321,6 +321,10 @@ func (e *Engine) LeakMean() (float64, error) {
 	return e.acc.Mean(), nil
 }
 
+// TotalLeak returns the design's nominal total leakage [nW] (no cache
+// involved; a convenience for objective tracking).
+func (e *Engine) TotalLeak() float64 { return e.d.TotalLeak() }
+
 // Corner returns the memoized deterministic corner STA against tmaxPs.
 // The result is invalidated by any Apply/Revert and recomputed on
 // demand, so back-to-back queries between moves are free.

@@ -2,6 +2,22 @@ package engine
 
 import "fmt"
 
+// Batch is the transaction surface the search driver runs batch rounds
+// through: Txn (single engine) and FamilyTxn (scenario family) both
+// implement it.
+type Batch interface {
+	Apply(m Move) error
+	Len() int
+	Moves() []Move
+	PopRevert() (Move, error)
+	Rollback() error
+	Commit()
+}
+
+// BeginTxn opens a transaction behind the search driver's Batch
+// interface.
+func (e *Engine) BeginTxn() Batch { return e.Begin() }
+
 // Txn batches moves so a whole candidate set can be applied, verified
 // against the (incrementally maintained) timing/leakage views, and
 // then committed or peeled back move by move. A transaction is a

@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/montecarlo"
 	"repro/internal/opt"
+	"repro/internal/scenario"
 	"repro/internal/ssta"
 	"repro/internal/tech"
 	"repro/internal/variation"
@@ -31,6 +32,9 @@ type Context struct {
 	Seed int64
 	// TechParams overrides the technology (nil ⇒ the 100nm preset).
 	TechParams *tech.Params
+	// Scenario overrides the corner matrix used by the scenario table
+	// (nil/zero ⇒ DefaultScenarioSpec).
+	Scenario *scenario.Spec
 	// Out receives rendered tables/series.
 	Out io.Writer
 

@@ -34,6 +34,7 @@ func (ctx *Context) Registry() map[string]func() (Renderer, error) {
 		"e2":     func() (Renderer, error) { return ctx.ExtensionStandbyVector() },
 		"e3":     func() (Renderer, error) { return ctx.ExtensionDualFront() },
 		"e4":     func() (Renderer, error) { return ctx.ExtensionTemperature() },
+		"e5":     func() (Renderer, error) { return ctx.ScenarioTable() },
 		"s1":     func() (Renderer, error) { return ctx.SequentialTable() },
 	}
 }
@@ -42,7 +43,7 @@ func (ctx *Context) Registry() map[string]func() (Renderer, error) {
 func ExperimentIDs() []string {
 	return []string{"table1", "table2", "table3", "table4",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"a1", "a2", "a3", "a4", "a5", "e1", "e2", "e3", "e4", "s1"}
+		"a1", "a2", "a3", "a4", "a5", "e1", "e2", "e3", "e4", "e5", "s1"}
 }
 
 // Run executes one experiment by ID and renders it to ctx.Out.

@@ -60,7 +60,7 @@ func AnnealCtx(ctx context.Context, d *core.Design, o Options, cfg AnnealConfig)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &StatResult{}
 
-	e, err := engine.New(d, engineConfig(o))
+	e, fam, err := newEvaluator(d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -182,5 +182,5 @@ func AnnealCtx(ctx context.Context, d *core.Design, o Options, cfg AnnealConfig)
 	if bestState != nil {
 		d.CopyAssignmentFrom(bestState)
 	}
-	return finishStat(d, o, res, start)
+	return finishStat(d, fam, o, res, start)
 }

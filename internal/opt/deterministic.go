@@ -44,7 +44,7 @@ func MinimumDelayCtx(ctx context.Context, d *core.Design) (float64, error) {
 // corner STA — the driver reverts and the policy blacklists the gate
 // when the estimate was wrong. target = 0 sizes for minimum delay.
 // maxMoves 0 means 10×n.
-func sizeToTarget(ctx context.Context, e *engine.Engine, target float64, maxMoves int, o Options, optimizer string) (*Result, error) {
+func sizeToTarget(ctx context.Context, e evaluator, target float64, maxMoves int, o Options, optimizer string) (*Result, error) {
 	res := &Result{}
 	d := e.Design()
 	c := d.Circuit
@@ -203,7 +203,7 @@ func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, 
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	e, err := engine.New(d, engineConfig(o))
+	e, fam, err := newEvaluator(d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +238,9 @@ func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, 
 		if err := detPhaseB(ctx, e, o, total); err != nil {
 			return nil, err
 		}
-		if leak := d.TotalLeak(); leak < bestLeak {
+		// The incumbent objective is the corner-aggregated nominal
+		// leakage; with no scenario this is exactly d.TotalLeak().
+		if leak := e.TotalLeak(); leak < bestLeak {
 			bestLeak = leak
 			best = d.Clone()
 		}
@@ -261,13 +263,20 @@ func DeterministicCtx(ctx context.Context, d *core.Design, o Options) (*Result, 
 	total.NominalDelayPs = nominal.MaxDelay
 	total.NominalLeakNW = d.TotalLeak()
 	total.Feasible = true
+	if fam != nil {
+		cms, err := fam.CornerScoreboard()
+		if err != nil {
+			return nil, err
+		}
+		total.Corners = cms
+	}
 	total.Runtime = time.Since(start)
 	return total, nil
 }
 
 // detPhaseB drains all corner-feasible leakage-recovery moves as a
 // first-accept search policy.
-func detPhaseB(ctx context.Context, e *engine.Engine, o Options, res *Result) error {
+func detPhaseB(ctx context.Context, e evaluator, o Options, res *Result) error {
 	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
@@ -314,7 +323,7 @@ func detPhaseB(ctx context.Context, e *engine.Engine, o Options, res *Result) er
 // bestCornerRecoveryMove scans all gates for the highest
 // leakage-saved/slack-consumed phase-B move whose own-delay increase
 // (at the corner) fits in the gate's corner slack.
-func bestCornerRecoveryMove(e *engine.Engine, o Options, slack []float64, blocked map[moveKey]bool) (engine.Move, bool) {
+func bestCornerRecoveryMove(e evaluator, o Options, slack []float64, blocked map[moveKey]bool) (engine.Move, bool) {
 	d := e.Design()
 	dLc, dVc := e.CornerOffsets()
 	bestScore := 0.0

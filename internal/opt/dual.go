@@ -24,6 +24,10 @@ type DualResult struct {
 	SizeUps      int
 	Runtime      time.Duration
 	YieldTargetQ float64 // the eta used for the delay quantile
+
+	// Corners holds the per-corner end-state scoreboard when the run
+	// evaluated a scenario family (Options.Scenario non-nil).
+	Corners []engine.CornerMetrics
 }
 
 // MinimizeDelayUnderLeakBudget solves the dual of the paper's problem
@@ -65,7 +69,7 @@ func MinimizeDelayUnderLeakBudgetCtx(ctx context.Context, d *core.Design, o Opti
 			return nil, err
 		}
 	}
-	e, err := engine.New(d, engineConfig(o))
+	e, fam, err := newEvaluator(d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +181,12 @@ func MinimizeDelayUnderLeakBudgetCtx(ctx context.Context, d *core.Design, o Opti
 	res.LeakPctNW, err = e.LeakQuantile(o.LeakPercentile)
 	if err != nil {
 		return nil, err
+	}
+	if fam != nil {
+		res.Corners, err = fam.CornerScoreboard()
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Runtime = time.Since(start)
 	return res, nil

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/opt"
+	"repro/internal/scenario"
 	"repro/internal/tech"
 )
 
@@ -60,10 +61,18 @@ const goldenPath = "testdata/golden_scoreboard.json"
 
 // computeGolden reruns the T2/T3/S1 scoreboard flows on the small end
 // of both synthetic suites (no Monte Carlo — the analytic scoreboard is
-// what the optimizers steer by and is deterministic).
-func computeGolden(t testing.TB) *goldenFile {
+// what the optimizers steer by and is deterministic). mutate, when
+// non-nil, adjusts every prepared Options before the optimizers run —
+// the hook the scenario-equivalence test uses to route the same flows
+// through a 1×1 corner family.
+func computeGolden(t testing.TB, mutate func(*opt.Options)) *goldenFile {
 	t.Helper()
 	ctx := exp.NewContext(io.Discard)
+	adjust := func(pr *exp.Prepared) {
+		if mutate != nil {
+			mutate(&pr.Opt)
+		}
+	}
 	out := &goldenFile{
 		Note: "pinned pre-refactor optimizer scoreboard (PR 3 seed); " +
 			"regenerate only deliberately with -update",
@@ -75,6 +84,7 @@ func computeGolden(t testing.TB) *goldenFile {
 		if err != nil {
 			t.Fatal(err)
 		}
+		adjust(pr)
 
 		// Table 2: sizing-only reference vs full deterministic recovery.
 		sized := pr.Base.Clone()
@@ -118,6 +128,7 @@ func computeGolden(t testing.TB) *goldenFile {
 		if err != nil {
 			t.Fatal(err)
 		}
+		adjust(pr)
 		pair, err := exp.RunPair(pr)
 		if err != nil {
 			t.Fatal(err)
@@ -145,7 +156,7 @@ func computeGolden(t testing.TB) *goldenFile {
 // exactly, so the T2/T3/S1 scoreboard numbers — pinned here from the
 // seed code as hex floats — must match bit-for-bit.
 func TestCrossFlowGoldenScoreboard(t *testing.T) {
-	got := computeGolden(t)
+	got := computeGolden(t, nil)
 
 	if *update {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
@@ -161,7 +172,26 @@ func TestCrossFlowGoldenScoreboard(t *testing.T) {
 		t.Logf("wrote %s", goldenPath)
 		return
 	}
+	compareGolden(t, got, "scoreboard drifted from pre-refactor golden")
+}
 
+// TestNominalMatrixGoldenEquivalence is the scenario-family equivalence
+// guard: routing every golden flow through a 1×1 nominal corner matrix
+// must reproduce the single-engine trajectories bit-for-bit — same
+// moves, same hex-float scoreboard — because the family's only corner
+// evaluates the base design through the identical engine code path.
+func TestNominalMatrixGoldenEquivalence(t *testing.T) {
+	if *update {
+		t.Skip("golden file is regenerated by TestCrossFlowGoldenScoreboard")
+	}
+	got := computeGolden(t, func(o *opt.Options) { o.Scenario = scenario.Nominal() })
+	compareGolden(t, got, "1×1 scenario family diverged from the single-engine golden")
+}
+
+// compareGolden checks a freshly computed scoreboard against the pinned
+// golden file, field-exact.
+func compareGolden(t *testing.T, got *goldenFile, msg string) {
+	t.Helper()
 	buf, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("missing golden file (run with -update on a trusted tree): %v", err)
@@ -178,8 +208,8 @@ func TestCrossFlowGoldenScoreboard(t *testing.T) {
 		for i, w := range rows {
 			g := gotRows[i]
 			if g != w {
-				t.Errorf("%s[%s]: scoreboard drifted from pre-refactor golden\n got: %s\nwant: %s",
-					table, w.Circuit, describe(g), describe(w))
+				t.Errorf("%s[%s]: %s\n got: %s\nwant: %s",
+					table, w.Circuit, msg, describe(g), describe(w))
 			}
 		}
 	}

@@ -48,7 +48,7 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 		return nil, err
 	}
 	res := &StatResult{}
-	e, err := engine.New(d, engineConfig(o))
+	e, fam, err := newEvaluator(d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -74,11 +74,11 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 		if err := statPhaseB(ctx, e, o, res); err != nil {
 			return nil, err
 		}
-		an, err := leakage.Exact(d)
+		q, err = exactObjective(d, fam, o.LeakPercentile)
 		if err != nil {
 			return nil, err
 		}
-		if q := an.Quantile(o.LeakPercentile); q < bestQ {
+		if q < bestQ {
 			bestQ = q
 			best = d.Clone()
 		}
@@ -86,7 +86,21 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 	if best != nil {
 		d.CopyAssignmentFrom(best)
 	}
-	return finishStat(d, o, res, start)
+	return finishStat(d, fam, o, res, start)
+}
+
+// exactObjective returns the sweep-selection objective: the exact
+// leakage percentile, corner-aggregated when a scenario family is
+// live.
+func exactObjective(d *core.Design, fam *engine.Family, p float64) (float64, error) {
+	if fam == nil {
+		an, err := leakage.Exact(d)
+		if err != nil {
+			return 0, err
+		}
+		return an.Quantile(p), nil
+	}
+	return fam.ExactLeakQuantile(p)
 }
 
 // statPhaseA upsizes statistically critical gates until the
@@ -94,7 +108,7 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 // first-accept search policy: propose the statistical-critical-path
 // gate with the best local upsize estimate, verify that the delay
 // quantile actually dropped.
-func statPhaseA(ctx context.Context, e *engine.Engine, o Options, target float64, res *StatResult) error {
+func statPhaseA(ctx context.Context, e evaluator, o Options, target float64, res *StatResult) error {
 	if !o.EnableSizing {
 		return nil
 	}
@@ -179,7 +193,7 @@ func statPhaseA(ctx context.Context, e *engine.Engine, o Options, target float64
 // incrementally — only the fanout cones of moved gates are re-timed —
 // and candidates are scored in parallel via the engine's worker pool,
 // which is what keeps large-circuit optimization in seconds.
-func statPhaseB(ctx context.Context, e *engine.Engine, o Options, res *StatResult) error {
+func statPhaseB(ctx context.Context, e evaluator, o Options, res *StatResult) error {
 	d := e.Design()
 	maxMoves := o.MaxMoves
 	if maxMoves == 0 {
@@ -340,7 +354,7 @@ type statCand struct {
 // currency against StatisticalSlack's sigma-adjusted budget; the
 // move's (small) effect on the circuit sigma is caught by the
 // incremental-SSTA batch verification.
-func statCandidates(ctx context.Context, e *engine.Engine, o Options, slack []float64, safety float64, blocked map[moveKey]bool) ([]statCand, error) {
+func statCandidates(ctx context.Context, e evaluator, o Options, slack []float64, safety float64, blocked map[moveKey]bool) ([]statCand, error) {
 	d := e.Design()
 	var cands []statCand
 	var moves []engine.Move
@@ -442,8 +456,12 @@ func statCriticalPath(d *core.Design, sr *ssta.Result, kappa float64) []int {
 	return rev
 }
 
-// finishStat fills the end-state metrics.
-func finishStat(d *core.Design, o Options, res *StatResult, start time.Time) (*StatResult, error) {
+// finishStat fills the end-state metrics. With a live scenario family
+// it also recomputes the per-corner scoreboard with fresh analyses and
+// overrides the headline yield/leakage with the family aggregates
+// (min-over-corners yield, matrix-aggregated leakage percentile); for
+// a 1×1 nominal matrix those equal the nominal values bit-for-bit.
+func finishStat(d *core.Design, fam *engine.Family, o Options, res *StatResult, start time.Time) (*StatResult, error) {
 	sr, err := ssta.Analyze(d)
 	if err != nil {
 		return nil, err
@@ -460,14 +478,42 @@ func finishStat(d *core.Design, o Options, res *StatResult, start time.Time) (*S
 	res.LeakPctNW = an.Quantile(o.LeakPercentile)
 	res.NominalDelayPs = sr.Delay.Mean
 	res.NominalLeakNW = d.TotalLeak()
+	if fam != nil {
+		cms, err := fam.CornerScoreboard()
+		if err != nil {
+			return nil, err
+		}
+		res.Corners = cms
+		per := make([]float64, len(cms))
+		minYield := cms[0].YieldAtTmax
+		for i, cm := range cms {
+			per[i] = cm.LeakPctNW
+			if cm.YieldAtTmax < minYield {
+				minYield = cm.YieldAtTmax
+			}
+		}
+		res.YieldAtTmax = minYield
+		res.Feasible = minYield >= o.YieldTarget
+		res.LeakPctNW = fam.Aggregate(per)
+	}
 	res.Runtime = time.Since(start)
 	return res, nil
 }
 
 // EvaluateStatistical computes the StatResult metrics for an already-
 // optimized (or unoptimized) design without changing it — used to put
-// the deterministic baseline on the same statistical scoreboard.
+// the deterministic baseline on the same statistical scoreboard. With
+// Options.Scenario set the scoreboard is corner-aggregated the same
+// way an optimizing run's would be.
 func EvaluateStatistical(d *core.Design, o Options) (*StatResult, error) {
 	res := &StatResult{}
-	return finishStat(d, o, res, time.Now())
+	var fam *engine.Family
+	if o.Scenario != nil {
+		var err error
+		fam, err = engine.NewFamily(d, engineConfig(o), o.Scenario)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return finishStat(d, fam, o, res, time.Now())
 }

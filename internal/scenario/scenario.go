@@ -1,0 +1,502 @@
+// Package scenario defines the operating-scenario matrix the
+// evaluation family indexes over: the cartesian product of
+// voltage/temperature corners, an optional deterministic
+// process-corner sigma override, and per-domain body-bias assignments.
+// A Matrix is pure description — it knows nothing about engines — and
+// Resolve lowers it against a concrete technology library and circuit
+// into one (library, bias vector, sigma) triple per corner, which
+// engine.NewFamily turns into per-corner evaluation contexts over one
+// shared assignment.
+//
+// Corner naming follows the PyOPUS generateCorners convention: the
+// voltage axis uses vl/vn/vh (low/nominal/high supply), the
+// temperature axis t<degrees>, and the name of a product corner joins
+// the segments with underscores (e.g. "vl_t110").
+//
+// Body bias is modeled GenMap-style: gates are clustered into a small
+// number of well-island domains (here: contiguous topological-depth
+// bands, the netlist-level analogue of placement islands), and each
+// domain is assigned one discrete step from a shared bias ladder. The
+// per-domain ladder indices are the discrete assignment variables a
+// bias-aware corner carries.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/stats"
+	"repro/internal/tech"
+)
+
+// Agg selects how per-corner leakage objectives collapse into the
+// single scalar the search accepts or rejects moves on.
+type Agg int
+
+const (
+	// WorstCorner scores a move by its worst corner (max leakage
+	// percentile over corners) — the conservative default.
+	WorstCorner Agg = iota
+	// Weighted scores by the weight-normalized average over corners —
+	// the duty-cycle-style objective (e.g. mostly-standby parts weight
+	// the low-voltage corner heavily).
+	Weighted
+)
+
+// String names the aggregation mode.
+func (a Agg) String() string {
+	if a == Weighted {
+		return "weighted"
+	}
+	return "worst"
+}
+
+// ParseAgg parses an aggregation-mode name ("worst", "weighted"; ""
+// defaults to worst).
+func ParseAgg(s string) (Agg, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "worst", "worst-corner":
+		return WorstCorner, nil
+	case "weighted":
+		return Weighted, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown aggregation %q (want worst or weighted)", s)
+}
+
+// Corner is one named operating point of the matrix.
+type Corner struct {
+	Name string
+
+	// TempC is the corner's operating temperature [°C]; 0 inherits the
+	// base library's temperature.
+	TempC float64
+
+	// VddScale scales the base supply (0 or 1 = nominal).
+	VddScale float64
+
+	// Sigma overrides the engine's deterministic corner sigma for this
+	// corner; negative means inherit the engine config.
+	Sigma float64
+
+	// Bias holds the per-domain ladder indices (into Matrix.BiasLadder)
+	// of this corner's body-bias assignment; nil means unbiased.
+	Bias []int
+
+	// Weight is the corner's weight under Weighted aggregation (0 is
+	// treated as 1).
+	Weight float64
+}
+
+// Matrix is a scenario family: the corners plus the shared body-bias
+// structure they index into.
+type Matrix struct {
+	Corners []Corner
+
+	// Domains is the number of body-bias well islands the circuit is
+	// partitioned into (0 = 1).
+	Domains int
+
+	// BiasLadder lists the discrete body-bias values [V] the per-domain
+	// assignments select from (positive = reverse bias).
+	BiasLadder []float64
+
+	// GammaBB is the body-effect coefficient dVth/dVbb (0 = 0.1).
+	GammaBB float64
+
+	Aggregate Agg
+}
+
+// Nominal returns the 1×1 matrix: one unbiased corner at the base
+// library's operating point. A family over it reproduces the
+// single-engine evaluation bit-for-bit.
+func Nominal() *Matrix {
+	return &Matrix{Corners: []Corner{{Name: "nom", VddScale: 1, Sigma: -1, Weight: 1}}}
+}
+
+// VoltScales maps the PyOPUS-style voltage corner names onto supply
+// scalings.
+var VoltScales = map[string]float64{"vl": 0.9, "vn": 1.0, "vh": 1.1}
+
+// Validate checks the matrix for internal consistency. It does not
+// need the circuit or library; Resolve re-checks the parts that do.
+func (m *Matrix) Validate() error {
+	if len(m.Corners) == 0 {
+		return fmt.Errorf("scenario: matrix has no corners")
+	}
+	domains := m.Domains
+	if domains <= 0 {
+		domains = 1
+	}
+	if m.GammaBB < 0 || m.GammaBB > 1 {
+		return fmt.Errorf("scenario: GammaBB %g outside [0,1]", m.GammaBB)
+	}
+	for i, b := range m.BiasLadder {
+		if math.Abs(b) > 1 {
+			return fmt.Errorf("scenario: bias ladder step %d = %gV outside [-1,1]", i, b)
+		}
+	}
+	seen := make(map[string]bool, len(m.Corners))
+	wsum := 0.0
+	for i, c := range m.Corners {
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("scenario: duplicate corner name %q", name)
+		}
+		seen[name] = true
+		if !stats.EqZero(c.TempC) && (c.TempC < -40 || c.TempC > 150) {
+			return fmt.Errorf("scenario: corner %q TempC %g outside [-40,150]", name, c.TempC)
+		}
+		if !stats.EqZero(c.VddScale) && (c.VddScale < 0.5 || c.VddScale > 1.5) {
+			return fmt.Errorf("scenario: corner %q VddScale %g outside [0.5,1.5]", name, c.VddScale)
+		}
+		if c.Sigma > 6 {
+			return fmt.Errorf("scenario: corner %q sigma %g > 6", name, c.Sigma)
+		}
+		if c.Bias != nil {
+			if len(c.Bias) != domains {
+				return fmt.Errorf("scenario: corner %q has %d bias entries for %d domains",
+					name, len(c.Bias), domains)
+			}
+			for _, bi := range c.Bias {
+				if bi < 0 || bi >= len(m.BiasLadder) {
+					return fmt.Errorf("scenario: corner %q bias index %d outside ladder [0,%d)",
+						name, bi, len(m.BiasLadder))
+				}
+			}
+		}
+		if c.Weight < 0 {
+			return fmt.Errorf("scenario: corner %q weight %g < 0", name, c.Weight)
+		}
+		wsum += c.weight()
+	}
+	if wsum <= 0 {
+		return fmt.Errorf("scenario: corner weights sum to %g", wsum)
+	}
+	return nil
+}
+
+func (c *Corner) weight() float64 {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// Resolved is one corner lowered against a base library and circuit:
+// everything engine.NewFamily needs to build that corner's context.
+type Resolved struct {
+	Name string
+	Lib  *tech.Library
+	// BiasVth is the per-node threshold shift [V]; nil when unbiased.
+	BiasVth []float64
+	// Sigma is the corner-sigma override; negative means inherit.
+	Sigma  float64
+	Weight float64 // normalized over the matrix
+	// Nominal marks a corner that is exactly the base operating point
+	// (base library, no bias): the family may evaluate the base design
+	// directly instead of a corner view.
+	Nominal bool
+}
+
+// Resolve lowers the matrix against a base library and circuit. The
+// base library is reused for corners at the nominal operating point so
+// a 1×1 nominal matrix evaluates on the identical model constants.
+func (m *Matrix) Resolve(base *tech.Library, c *logic.Circuit) ([]Resolved, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	domains := m.Domains
+	if domains <= 0 {
+		domains = 1
+	}
+	gamma := m.GammaBB
+	if stats.EqZero(gamma) {
+		gamma = 0.1
+	}
+	var domainOf []int
+	needBias := false
+	for _, cr := range m.Corners {
+		if cr.Bias != nil {
+			needBias = true
+		}
+	}
+	if needBias {
+		var err error
+		domainOf, err = DomainBands(c, domains)
+		if err != nil {
+			return nil, err
+		}
+	}
+	wsum := 0.0
+	for i := range m.Corners {
+		wsum += m.Corners[i].weight()
+	}
+	out := make([]Resolved, 0, len(m.Corners))
+	for i, cr := range m.Corners {
+		r := Resolved{
+			Name:   cr.Name,
+			Sigma:  cr.Sigma,
+			Weight: cr.weight() / wsum,
+		}
+		if r.Name == "" {
+			r.Name = fmt.Sprintf("c%d", i)
+		}
+		tempNominal := stats.EqZero(cr.TempC) || stats.EqExact(cr.TempC, base.P.TempC)
+		vddNominal := stats.EqZero(cr.VddScale) || stats.EqExact(cr.VddScale, 1)
+		if tempNominal && vddNominal {
+			r.Lib = base
+		} else {
+			p := *base.P
+			if !tempNominal {
+				p.TempC = cr.TempC
+			}
+			if !vddNominal {
+				p.Vdd = base.P.Vdd * cr.VddScale
+			}
+			lib, err := tech.NewLibrary(&p)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: corner %q: %w", r.Name, err)
+			}
+			// Preserve a non-default base ladder: assignments index
+			// into the base ladder by value.
+			lib.Sizes = append([]float64(nil), base.Sizes...)
+			r.Lib = lib
+		}
+		if cr.Bias != nil {
+			bias := make([]float64, c.NumNodes())
+			allZero := true
+			for id := range bias {
+				b := gamma * m.BiasLadder[cr.Bias[domainOf[id]]]
+				bias[id] = b
+				if !stats.EqZero(b) {
+					allZero = false
+				}
+			}
+			if !allZero {
+				r.BiasVth = bias
+			}
+		}
+		r.Nominal = r.Lib == base && r.BiasVth == nil
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// DomainBands partitions the circuit's nodes into `domains` contiguous
+// topological-depth bands and returns the domain index per node — the
+// GenMap-style clustering of gates into body-bias well islands,
+// computed at the netlist level where placement is unavailable. Launch
+// points (inputs, DFFs) sit at depth 0 and land in domain 0.
+func DomainBands(c *logic.Circuit, domains int) ([]int, error) {
+	if domains <= 0 {
+		return nil, fmt.Errorf("scenario: domains %d must be >= 1", domains)
+	}
+	lv, err := c.Levels()
+	if err != nil {
+		return nil, err
+	}
+	depth := 0
+	for _, l := range lv {
+		if l > depth {
+			depth = l
+		}
+	}
+	out := make([]int, len(lv))
+	for id, l := range lv {
+		dom := l * domains / (depth + 1)
+		if dom >= domains {
+			dom = domains - 1
+		}
+		out[id] = dom
+	}
+	return out, nil
+}
+
+// Product builds the cartesian product of temperature and voltage
+// corners, named "<volt>_t<temp>" PyOPUS-style. temps lists operating
+// temperatures in °C (empty = the base reference, named segment "tn");
+// volts lists names from VoltScales (empty = "vn"). Every product
+// corner inherits the engine sigma, carries weight 1 and the shared
+// bias assignment (nil = unbiased).
+func Product(temps []float64, volts []string, bias []int) ([]Corner, error) {
+	if len(temps) == 0 {
+		temps = []float64{0}
+	}
+	if len(volts) == 0 {
+		volts = []string{"vn"}
+	}
+	var out []Corner
+	for _, v := range volts {
+		scale, ok := VoltScales[strings.ToLower(strings.TrimSpace(v))]
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown voltage corner %q (want one of vl, vn, vh)", v)
+		}
+		for _, t := range temps {
+			seg := "tn"
+			if !stats.EqZero(t) {
+				seg = "t" + strconv.FormatFloat(t, 'g', -1, 64)
+			}
+			out = append(out, Corner{
+				Name:     strings.ToLower(strings.TrimSpace(v)) + "_" + seg,
+				TempC:    t,
+				VddScale: scale,
+				Sigma:    -1,
+				Bias:     append([]int(nil), bias...),
+				Weight:   1,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Spec is the wire- and flag-level description of a matrix: what the
+// daemon's job requests and the CLI flags carry. Build lowers it into
+// a Matrix.
+type Spec struct {
+	// Temps lists operating temperatures [°C]; empty means the library
+	// reference point.
+	Temps []float64 `json:"temps,omitempty"`
+	// Corners lists voltage corner names (vl, vn, vh); empty means vn.
+	Corners []string `json:"corners,omitempty"`
+	// BiasDomains is the number of body-bias well islands (0 = no bias
+	// axis).
+	BiasDomains int `json:"bias_domains,omitempty"`
+	// Bias lists the per-domain reverse-bias values [V]; a single value
+	// broadcasts to every domain. Requires BiasDomains > 0.
+	Bias []float64 `json:"bias,omitempty"`
+	// GammaBB is the body-effect coefficient (0 = 0.1).
+	GammaBB float64 `json:"gamma_bb,omitempty"`
+	// Aggregate is "worst" (default) or "weighted".
+	Aggregate string `json:"aggregate,omitempty"`
+}
+
+// IsZero reports whether the spec requests anything beyond the
+// implicit single nominal corner.
+func (s *Spec) IsZero() bool {
+	return s == nil || (len(s.Temps) == 0 && len(s.Corners) == 0 &&
+		s.BiasDomains == 0 && len(s.Bias) == 0 && s.Aggregate == "")
+}
+
+// Validate checks the spec by building it.
+func (s *Spec) Validate() error {
+	_, err := s.Build()
+	return err
+}
+
+// Build lowers the spec into a Matrix. The bias values become a shared
+// ladder (always containing the unbiased step 0) and every corner
+// carries the same per-domain assignment — the discrete variables a
+// later bias search refines per corner.
+func (s *Spec) Build() (*Matrix, error) {
+	if s == nil {
+		return Nominal(), nil
+	}
+	m := &Matrix{GammaBB: s.GammaBB}
+	agg, err := ParseAgg(s.Aggregate)
+	if err != nil {
+		return nil, err
+	}
+	m.Aggregate = agg
+
+	var bias []int
+	if len(s.Bias) > 0 || s.BiasDomains > 0 {
+		if s.BiasDomains <= 0 {
+			return nil, fmt.Errorf("scenario: bias values given but bias_domains is 0")
+		}
+		m.Domains = s.BiasDomains
+		vals := s.Bias
+		if len(vals) == 0 {
+			vals = []float64{0}
+		}
+		if len(vals) == 1 && s.BiasDomains > 1 {
+			v := vals[0]
+			vals = make([]float64, s.BiasDomains)
+			for i := range vals {
+				vals[i] = v
+			}
+		}
+		if len(vals) != s.BiasDomains {
+			return nil, fmt.Errorf("scenario: %d bias values for %d domains", len(vals), s.BiasDomains)
+		}
+		m.BiasLadder, bias = ladderOf(vals)
+	}
+	corners, err := Product(s.Temps, s.Corners, bias)
+	if err != nil {
+		return nil, err
+	}
+	m.Corners = corners
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ladderOf deduplicates per-domain bias values into an ascending
+// ladder and returns the per-domain index assignment into it.
+func ladderOf(vals []float64) (ladder []float64, assign []int) {
+	uniq := append([]float64(nil), vals...)
+	sort.Float64s(uniq)
+	ladder = uniq[:0:0]
+	for _, v := range uniq {
+		if len(ladder) == 0 || !stats.EqExact(ladder[len(ladder)-1], v) {
+			ladder = append(ladder, v)
+		}
+	}
+	assign = make([]int, len(vals))
+	for i, v := range vals {
+		for j, l := range ladder {
+			if stats.EqExact(l, v) {
+				assign[i] = j
+				break
+			}
+		}
+	}
+	return ladder, assign
+}
+
+// ParseFlags builds a Spec from the CLI flag forms: comma-separated
+// voltage corner names, comma-separated temperatures, a domain count
+// and comma-separated per-domain bias volts. Empty strings mean the
+// axis is not swept.
+func ParseFlags(corners, temps string, biasDomains int, bias, aggregate string) (*Spec, error) {
+	s := &Spec{BiasDomains: biasDomains, Aggregate: aggregate}
+	for _, tok := range splitCSV(corners) {
+		s.Corners = append(s.Corners, tok)
+	}
+	for _, tok := range splitCSV(temps) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad temperature %q: %w", tok, err)
+		}
+		s.Temps = append(s.Temps, v)
+	}
+	for _, tok := range splitCSV(bias) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad bias value %q: %w", tok, err)
+		}
+		s.Bias = append(s.Bias, v)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

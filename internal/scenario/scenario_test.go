@@ -1,0 +1,348 @@
+package scenario_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/scenario"
+)
+
+func TestScenarioNominal(t *testing.T) {
+	m := scenario.Nominal()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("nominal matrix invalid: %v", err)
+	}
+	if len(m.Corners) != 1 || m.Corners[0].Name != "nom" {
+		t.Fatalf("nominal matrix = %+v", m.Corners)
+	}
+
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.Resolve(d.Lib, d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || !rs[0].Nominal || rs[0].Lib != d.Lib || rs[0].BiasVth != nil {
+		t.Fatalf("nominal corner must reuse the base library unbiased: %+v", rs[0])
+	}
+	if rs[0].Weight != 1 {
+		t.Fatalf("single corner weight = %g, want 1", rs[0].Weight)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    scenario.Matrix
+		want string // substring of the error; "" = valid
+	}{
+		{"empty", scenario.Matrix{}, "no corners"},
+		{"valid", scenario.Matrix{Corners: []scenario.Corner{{Name: "a"}}}, ""},
+		{"dup names", scenario.Matrix{Corners: []scenario.Corner{{Name: "a"}, {Name: "a"}}}, "duplicate"},
+		{"temp range", scenario.Matrix{Corners: []scenario.Corner{{Name: "a", TempC: 200}}}, "TempC"},
+		{"vdd range", scenario.Matrix{Corners: []scenario.Corner{{Name: "a", VddScale: 0.2}}}, "VddScale"},
+		{"sigma range", scenario.Matrix{Corners: []scenario.Corner{{Name: "a", Sigma: 7}}}, "sigma"},
+		{"neg weight", scenario.Matrix{Corners: []scenario.Corner{{Name: "a", Weight: -1}}}, "weight"},
+		{"gamma range", scenario.Matrix{GammaBB: 2, Corners: []scenario.Corner{{Name: "a"}}}, "GammaBB"},
+		{"ladder range", scenario.Matrix{
+			BiasLadder: []float64{2},
+			Corners:    []scenario.Corner{{Name: "a"}},
+		}, "ladder"},
+		{"bias len", scenario.Matrix{
+			Domains:    2,
+			BiasLadder: []float64{0, 0.1},
+			Corners:    []scenario.Corner{{Name: "a", Bias: []int{0}}},
+		}, "bias entries"},
+		{"bias index", scenario.Matrix{
+			Domains:    1,
+			BiasLadder: []float64{0},
+			Corners:    []scenario.Corner{{Name: "a", Bias: []int{3}}},
+		}, "bias index"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.m.Validate()
+			switch {
+			case tc.want == "" && err != nil:
+				t.Fatalf("unexpected error: %v", err)
+			case tc.want != "" && err == nil:
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			case tc.want != "" && !strings.Contains(err.Error(), tc.want):
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScenarioProduct(t *testing.T) {
+	cs, err := scenario.Product([]float64{0, 110}, []string{"vl", "vh"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"vl_tn", "vl_t110", "vh_tn", "vh_t110"}
+	if len(cs) != len(wantNames) {
+		t.Fatalf("got %d corners, want %d", len(cs), len(wantNames))
+	}
+	for i, c := range cs {
+		if c.Name != wantNames[i] {
+			t.Errorf("corner %d named %q, want %q", i, c.Name, wantNames[i])
+		}
+		if c.Sigma != -1 || c.Weight != 1 {
+			t.Errorf("corner %q must inherit sigma and carry weight 1: %+v", c.Name, c)
+		}
+	}
+	if cs[0].VddScale != 0.9 || cs[2].VddScale != 1.1 {
+		t.Errorf("voltage scales: vl=%g vh=%g", cs[0].VddScale, cs[2].VddScale)
+	}
+
+	// Empty axes collapse to the single nominal segment.
+	cs, err = scenario.Product(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].Name != "vn_tn" {
+		t.Fatalf("empty axes: %+v", cs)
+	}
+
+	if _, err := scenario.Product(nil, []string{"vx"}, nil); err == nil {
+		t.Fatal("unknown voltage corner must error")
+	}
+}
+
+func TestScenarioSpecBuild(t *testing.T) {
+	var nilSpec *scenario.Spec
+	if !nilSpec.IsZero() {
+		t.Fatal("nil spec must be zero")
+	}
+	m, err := nilSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Corners) != 1 {
+		t.Fatalf("nil spec must build the nominal matrix, got %d corners", len(m.Corners))
+	}
+
+	m, err = (&scenario.Spec{Temps: []float64{0, 110}, Corners: []string{"vl", "vh"}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Corners) != 4 {
+		t.Fatalf("2×2 spec built %d corners", len(m.Corners))
+	}
+
+	// A single bias value broadcasts over the domains, and equal values
+	// dedupe into a one-step ladder (plus index assignments into it).
+	m, err = (&scenario.Spec{BiasDomains: 3, Bias: []float64{0.2}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.BiasLadder) != 1 || m.BiasLadder[0] != 0.2 {
+		t.Fatalf("broadcast ladder = %v", m.BiasLadder)
+	}
+	if got := m.Corners[0].Bias; len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("broadcast assignment = %v", got)
+	}
+
+	// Distinct values build an ascending deduped ladder.
+	m, err = (&scenario.Spec{BiasDomains: 3, Bias: []float64{0.2, 0, 0.2}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.BiasLadder) != 2 || m.BiasLadder[0] != 0 || m.BiasLadder[1] != 0.2 {
+		t.Fatalf("deduped ladder = %v", m.BiasLadder)
+	}
+	if got := m.Corners[0].Bias; got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("ladder assignment = %v", got)
+	}
+
+	if _, err := (&scenario.Spec{Bias: []float64{0.1}}).Build(); err == nil {
+		t.Fatal("bias values without bias_domains must error")
+	}
+	if _, err := (&scenario.Spec{BiasDomains: 2, Bias: []float64{0.1, 0.2, 0.3}}).Build(); err == nil {
+		t.Fatal("bias/domain count mismatch must error")
+	}
+	if _, err := (&scenario.Spec{Aggregate: "median"}).Build(); err == nil {
+		t.Fatal("unknown aggregation must error")
+	}
+}
+
+func TestScenarioDomainBands(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const domains = 4
+	dom, err := scenario.DomainBands(d.Circuit, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom) != d.Circuit.NumNodes() {
+		t.Fatalf("got %d assignments for %d nodes", len(dom), d.Circuit.NumNodes())
+	}
+	lv, err := d.Circuit.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, domains)
+	for id, b := range dom {
+		if b < 0 || b >= domains {
+			t.Fatalf("node %d assigned domain %d outside [0,%d)", id, b, domains)
+		}
+		seen[b] = true
+		if lv[id] == 0 && b != 0 {
+			t.Fatalf("launch node %d (depth 0) in domain %d, want 0", id, b)
+		}
+	}
+	for b, ok := range seen {
+		if !ok {
+			t.Errorf("domain %d is empty", b)
+		}
+	}
+	// Band assignment must be monotone in topological depth.
+	for id, b := range dom {
+		for id2, b2 := range dom {
+			if lv[id] < lv[id2] && b > b2 {
+				t.Fatalf("non-monotone bands: depth %d → domain %d but depth %d → domain %d",
+					lv[id], b, lv[id2], b2)
+			}
+		}
+	}
+
+	if _, err := scenario.DomainBands(d.Circuit, 0); err == nil {
+		t.Fatal("domains=0 must error")
+	}
+}
+
+func TestScenarioResolve(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Temperature-only sweep: the reference corner reuses the base
+	// library, the hot corner gets a derived one.
+	m, err := (&scenario.Spec{Temps: []float64{0, 110}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.Resolve(d.Lib, d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("resolved %d corners, want 2", len(rs))
+	}
+	if !rs[0].Nominal || rs[0].Lib != d.Lib {
+		t.Fatalf("reference corner must reuse the base library: %+v", rs[0])
+	}
+	if rs[1].Nominal || rs[1].Lib == d.Lib || rs[1].Lib.P.TempC != 110 {
+		t.Fatalf("hot corner: nominal=%v TempC=%g", rs[1].Nominal, rs[1].Lib.P.TempC)
+	}
+	if rs[1].Lib.P.Vdd != d.Lib.P.Vdd {
+		t.Fatalf("temperature corner changed Vdd: %g vs %g", rs[1].Lib.P.Vdd, d.Lib.P.Vdd)
+	}
+	if rs[0].Weight != 0.5 || rs[1].Weight != 0.5 {
+		t.Fatalf("weights not normalized: %g, %g", rs[0].Weight, rs[1].Weight)
+	}
+
+	// Voltage corner scales the supply.
+	m, err = (&scenario.Spec{Corners: []string{"vh"}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = m.Resolve(d.Lib, d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.Lib.P.Vdd * 1.1; math.Abs(rs[0].Lib.P.Vdd-want) > 1e-12 {
+		t.Fatalf("vh corner Vdd = %g, want %g", rs[0].Lib.P.Vdd, want)
+	}
+
+	// A biased corner carries a per-node threshold shift of
+	// gamma × ladder value; an all-zero bias collapses to unbiased.
+	m, err = (&scenario.Spec{BiasDomains: 2, Bias: []float64{0.2, 0.2}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = m.Resolve(d.Lib, d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].BiasVth == nil || len(rs[0].BiasVth) != d.Circuit.NumNodes() {
+		t.Fatalf("biased corner has no bias vector: %+v", rs[0])
+	}
+	for id, b := range rs[0].BiasVth {
+		if math.Abs(b-0.1*0.2) > 1e-15 {
+			t.Fatalf("node %d bias %g, want %g", id, b, 0.1*0.2)
+		}
+	}
+
+	m, err = (&scenario.Spec{BiasDomains: 2, Bias: []float64{0, 0}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = m.Resolve(d.Lib, d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].BiasVth != nil || !rs[0].Nominal {
+		t.Fatalf("all-zero bias must resolve unbiased nominal: %+v", rs[0])
+	}
+}
+
+func TestScenarioParseFlags(t *testing.T) {
+	s, err := scenario.ParseFlags("vl, vh", "0,110", 0, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Corners) != 2 || len(s.Temps) != 2 || s.Temps[1] != 110 {
+		t.Fatalf("parsed spec = %+v", s)
+	}
+	if s.IsZero() {
+		t.Fatal("populated spec must not be zero")
+	}
+
+	s, err = scenario.ParseFlags("", "", 2, "0.1,0.2", "weighted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BiasDomains != 2 || len(s.Bias) != 2 || s.Aggregate != "weighted" {
+		t.Fatalf("parsed bias spec = %+v", s)
+	}
+
+	if _, err := scenario.ParseFlags("", "hot", 0, "", ""); err == nil {
+		t.Fatal("bad temperature must error")
+	}
+	if _, err := scenario.ParseFlags("", "", 2, "x", ""); err == nil {
+		t.Fatal("bad bias value must error")
+	}
+	if _, err := scenario.ParseFlags("vx", "", 0, "", ""); err == nil {
+		t.Fatal("unknown voltage corner must error")
+	}
+}
+
+func TestScenarioParseAgg(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want scenario.Agg
+		ok   bool
+	}{
+		{"", scenario.WorstCorner, true},
+		{"worst", scenario.WorstCorner, true},
+		{"worst-corner", scenario.WorstCorner, true},
+		{"Weighted", scenario.Weighted, true},
+		{"median", 0, false},
+	} {
+		got, err := scenario.ParseAgg(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseAgg(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if scenario.WorstCorner.String() != "worst" || scenario.Weighted.String() != "weighted" {
+		t.Error("Agg.String names drifted")
+	}
+}

@@ -125,11 +125,21 @@ type Policy struct {
 	RoundDone func(accepted int, t *Tally) (stop bool, err error)
 }
 
+// Driver is the mutation surface the search loop drives: the single
+// evaluation engine or a corner-indexed scenario family. Everything
+// else a policy needs (yield, quantiles, scores) it closes over
+// itself, already corner-aggregated by the driver it captured.
+type Driver interface {
+	Apply(m engine.Move) error
+	Revert(m engine.Move) error
+	BeginTxn() engine.Batch
+}
+
 // Run drives the search loop until Propose returns nil, RoundDone
 // stops it, ctx is cancelled, or a step fails. The returned Tally is
 // valid (reflecting all kept moves) even when err is non-nil, so
 // callers can account for partial progress.
-func Run(ctx context.Context, e *engine.Engine, p Policy) (*Tally, error) {
+func Run(ctx context.Context, e Driver, p Policy) (*Tally, error) {
 	t := &Tally{}
 	if p.Propose == nil || p.Verify == nil {
 		return t, fmt.Errorf("search: policy %q needs Propose and Verify", p.Optimizer)
@@ -179,8 +189,8 @@ func Run(ctx context.Context, e *engine.Engine, p Policy) (*Tally, error) {
 
 // runBatch applies every candidate in a transaction, peels from the
 // newest until Verify passes, and commits the survivors.
-func runBatch(e *engine.Engine, moves []engine.Move, t *Tally, p Policy, proposed *obs.Counter) (int, error) {
-	txn := e.Begin()
+func runBatch(e Driver, moves []engine.Move, t *Tally, p Policy, proposed *obs.Counter) (int, error) {
+	txn := e.BeginTxn()
 	for _, mv := range moves {
 		if err := txn.Apply(mv); err != nil {
 			return 0, err
@@ -218,7 +228,7 @@ func runBatch(e *engine.Engine, moves []engine.Move, t *Tally, p Policy, propose
 }
 
 // runFirstAccept applies candidates in order until one verifies.
-func runFirstAccept(e *engine.Engine, moves []engine.Move, t *Tally, p Policy, proposed *obs.Counter) (int, error) {
+func runFirstAccept(e Driver, moves []engine.Move, t *Tally, p Policy, proposed *obs.Counter) (int, error) {
 	for _, mv := range moves {
 		if err := e.Apply(mv); err != nil {
 			return 0, err

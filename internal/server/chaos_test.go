@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 // waitJob polls a job directly (no HTTP) until pred holds.
@@ -437,5 +438,58 @@ func TestChaosDoubleShutdown(t *testing.T) {
 	}
 	if err := <-firstErr; err == nil {
 		t.Error("first Shutdown should report its missed drain deadline")
+	}
+}
+
+// TestChaosScenarioCancelMidRound drives the corner-family fault
+// path: a 4-corner (2 temperatures × 2 voltage corners) statistical
+// job is cancelled mid-round, and the engine Family must drain
+// cleanly — the job lands cancelled (not failed, not hung), the
+// daemon stays healthy, and a follow-up scenario job on the same
+// worker pool runs to done with a full per-corner scoreboard.
+func TestChaosScenarioCancelMidRound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	four := &scenario.Spec{Temps: []float64{0, 110}, Corners: []string{"vl", "vh"}}
+	st := submitJob(t, ts, Request{Circuit: "s1908", Optimizer: "statistical", Scenario: four})
+
+	// Mid-round means the optimizer has committed at least one move,
+	// so every corner context holds incremental state the drain must
+	// unwind — not a pending job that never built a Family.
+	pollUntil(t, ts, st.ID, time.Minute, func(s Status) bool {
+		return s.State == StateRunning && s.Progress.Moves > 0
+	})
+
+	cancelledAt := time.Now()
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel: got %d, want 202", code)
+	}
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	if final.State != StateCancelled {
+		t.Fatalf("4-corner job ended %q (err %q), want cancelled", final.State, final.Error)
+	}
+	if waited := time.Since(cancelledAt); waited > 20*time.Second {
+		t.Errorf("family drain took %v; the move-granular ctx checks should stop far faster", waited)
+	}
+	if code, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("daemon unhealthy after drain: %d %s", code, body)
+	}
+
+	// The worker that drained the cancelled Family must be reusable.
+	next := submitJob(t, ts, Request{Circuit: "s432", Optimizer: "statistical", Scenario: four, MaxMoves: 16})
+	done := pollUntil(t, ts, next.ID, 2*time.Minute, func(s Status) bool { return s.State.terminal() })
+	if done.State != StateDone {
+		t.Fatalf("follow-up scenario job ended %q (err %q), want done", done.State, done.Error)
+	}
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+next.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: got %d, body %s", code, body)
+	}
+	var out Outcome
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("result decode: %v", err)
+	}
+	if len(out.Corners) != 4 {
+		t.Fatalf("scoreboard has %d corners, want 4: %+v", len(out.Corners), out.Corners)
 	}
 }

@@ -15,9 +15,11 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/montecarlo"
 	"repro/internal/opt"
+	"repro/internal/scenario"
 	"repro/internal/tech"
 	"repro/internal/variation"
 	"repro/internal/verilog"
@@ -79,6 +81,14 @@ type Request struct {
 	// optimizer (required there, ignored elsewhere).
 	LeakBudgetNW float64 `json:"leak_budget_nw,omitempty"`
 
+	// Scenario, when present, evaluates the job over a multi-corner
+	// scenario family (voltage/temperature corners × body-bias domains)
+	// instead of the single nominal operating point: feasibility is
+	// judged on the min-over-corners yield and the objective on the
+	// aggregated leakage, and the outcome carries a per-corner
+	// scoreboard.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+
 	// MCSamples, when > 0, runs a final Monte Carlo scoreboard on the
 	// optimized design with the given seed (default seed 1).
 	MCSamples int   `json:"mc_samples,omitempty"`
@@ -137,6 +147,11 @@ func (r *Request) Validate() error {
 	if r.MaxRetries < 0 || r.MaxRetries > MaxRetriesCap {
 		return fmt.Errorf("max_retries %d out of range [0, %d]", r.MaxRetries, MaxRetriesCap)
 	}
+	if !r.Scenario.IsZero() {
+		if err := r.Scenario.Validate(); err != nil {
+			return err
+		}
+	}
 	if _, err := tech.Preset(r.preset()); err != nil {
 		return err
 	}
@@ -157,9 +172,18 @@ func (r *Request) optimizer() string {
 	return r.Optimizer
 }
 
-// options maps the request onto opt.Options.
-func (r *Request) options(tmaxPs float64) opt.Options {
+// options maps the request onto opt.Options. The scenario spec was
+// validated at submission, so a build failure here is impossible; the
+// error return keeps execute's plumbing honest anyway.
+func (r *Request) options(tmaxPs float64) (opt.Options, error) {
 	o := opt.DefaultOptions(tmaxPs)
+	if !r.Scenario.IsZero() {
+		m, err := r.Scenario.Build()
+		if err != nil {
+			return o, err
+		}
+		o.Scenario = m
+	}
 	if r.YieldTarget > 0 {
 		o.YieldTarget = r.YieldTarget
 	}
@@ -172,7 +196,7 @@ func (r *Request) options(tmaxPs float64) opt.Options {
 	o.EnableVth = !r.DisableVth
 	o.EnableSizing = !r.DisableSizing
 	o.MaxMoves = r.MaxMoves
-	return o
+	return o, nil
 }
 
 // Snapshot is the live progress view of a running job, published by
@@ -227,6 +251,11 @@ type Outcome struct {
 	RuntimeSec float64      `json:"runtime_sec"`
 	MC         *MCOutcome   `json:"mc,omitempty"`
 	Dual       *DualOutcome `json:"dual,omitempty"`
+
+	// Corners is the per-corner end-state scoreboard of a scenario job
+	// (Request.Scenario present); the scalar fields above then report
+	// the corner aggregates (min yield, aggregated leakage).
+	Corners []engine.CornerMetrics `json:"corners,omitempty"`
 }
 
 // Job is one queued/running/finished optimization. All mutable fields
@@ -391,7 +420,10 @@ func execute(ctx context.Context, job *Job) (*Outcome, error) {
 		}
 		tmax = factor * dmin
 	}
-	o := r.options(tmax)
+	o, err := r.options(tmax)
+	if err != nil {
+		return nil, err
+	}
 	o.Progress = job.observe
 
 	out := &Outcome{
@@ -414,6 +446,7 @@ func execute(ctx context.Context, job *Job) (*Outcome, error) {
 		out.DelaySigmaPs = sr.DelaySigmaPs
 		out.NominalDelayPs = sr.NominalDelayPs
 		out.RuntimeSec = sr.Runtime.Seconds()
+		out.Corners = sr.Corners
 	}
 	switch out.Optimizer {
 	case "statistical":
@@ -457,6 +490,7 @@ func execute(ctx context.Context, job *Job) (*Outcome, error) {
 		out.NominalLeakNW = d.TotalLeak()
 		out.RuntimeSec = dr.Runtime.Seconds()
 		out.Dual = &DualOutcome{BudgetNW: dr.BudgetNW, DelayQPs: dr.DelayQPs, SwapsToLVT: dr.SwapsToLVT}
+		out.Corners = dr.Corners
 	}
 	if r.MCSamples > 0 {
 		seed := r.Seed

@@ -340,6 +340,26 @@ func (lb *Library) DelayDerivs(t logic.GateType, v VthClass, size, loadFF float6
 	return dPerNm, dPerV
 }
 
+// DelayDerivsWith returns the first-order sensitivities of the biased
+// delay to ΔLeff [ps/nm] and ΔVth [ps/V], linearized at (ΔL=0,
+// ΔVth=dVthV) instead of the nominal point. Scenario corners with a
+// body-bias threshold shift build their SSTA canonical forms from
+// these; with dVthV = 0 the expressions reduce to DelayDerivs.
+func (lb *Library) DelayDerivsWith(t logic.GateType, v VthClass, size, loadFF, dVthV float64) (dPerNm, dPerV float64) {
+	if t == logic.Input {
+		return 0, 0
+	}
+	d := lb.DelayWith(t, v, size, loadFF, 0, dVthV)
+	p := lb.P
+	vth := p.Vth(v) + dVthV
+	if vth >= p.Vdd-0.01 {
+		vth = p.Vdd - 0.01 // match DelayWith's barely-turns-on clamp
+	}
+	dPerV = d * p.Alpha / (p.Vdd - vth)
+	dPerNm = d*(1/p.LeffNom) + dPerV*p.KRoll
+	return dPerNm, dPerV
+}
+
 // Leak returns the nominal leakage power [nW] of a cell: the
 // subthreshold component (exponential in Vth) plus the small
 // Vth-independent gate-tunneling component.
@@ -356,6 +376,16 @@ func (lb *Library) SubLeak(t logic.GateType, v VthClass, size float64) float64 {
 	tr := traits[t]
 	// nA × V = nW: a unit LVT inverter lands at ~28 nW (see tests).
 	return lb.P.Vdd * lb.i0Eff * tr.w * size * tr.sf * lb.leak10[v]
+}
+
+// SubLeakWith returns the subthreshold component [nW] under an
+// independent threshold shift dVthV [V] — the body-bias form scenario
+// corners evaluate. With dVthV = 0 it reduces to SubLeak exactly.
+func (lb *Library) SubLeakWith(t logic.GateType, v VthClass, size, dVthV float64) float64 {
+	if t == logic.Input {
+		return 0
+	}
+	return lb.SubLeak(t, v, size) * math.Exp(-lb.LeakBeta()*dVthV)
 }
 
 // GateLeak returns the Vth-independent gate-tunneling component [nW].
