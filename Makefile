@@ -6,13 +6,15 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint build test race scenario chaos bench bench-json experiments-output fuzz daemon
+.PHONY: ci lint vet statleaklint lint-sarif build test race scenario chaos bench bench-json experiments-output fuzz daemon
 
 ci: lint build test race scenario chaos fuzz
 
 # lint = go vet plus the repository's own analyzer suite. statleaklint
-# enforces the engine's determinism/transactionality invariants; see
-# DESIGN.md §"Static analysis" and internal/analysis/.
+# enforces the engine's determinism/transactionality/concurrency
+# invariants; the -suppressions pass fails on any //lint:ignore whose
+# reason is missing. See DESIGN.md §"Static analysis" and
+# internal/analysis/.
 lint: vet statleaklint
 
 vet:
@@ -20,6 +22,12 @@ vet:
 
 statleaklint:
 	$(GO) run ./cmd/statleaklint ./...
+	$(GO) run ./cmd/statleaklint -suppressions ./... >/dev/null
+
+# lint-sarif emits the machine-readable report CI uploads (suppressed
+# findings included, marked inSource).
+lint-sarif:
+	$(GO) run ./cmd/statleaklint -sarif -out statleaklint.sarif ./... || true
 
 build:
 	$(GO) build ./...

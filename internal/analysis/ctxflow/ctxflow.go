@@ -1,0 +1,307 @@
+// Package ctxflow defines the statleaklint analyzer enforcing the
+// PR 5/6 cancellation discipline: long-running work is driven by a
+// caller-supplied context, and the server's blocking constructs are
+// always paired with a way out.
+//
+// Two rule families:
+//
+//  1. context.Background()/context.TODO() may appear only in package
+//     main and test files. Library code that conjures its own root
+//     context detaches from the caller's deadline — the exact bug the
+//     *Ctx refactors removed. The handful of sanctioned compatibility
+//     wrappers carry //lint:ignore suppressions with reasons.
+//
+//  2. In the server package every potentially-unbounded blocking
+//     construct must be dominated by an escape signal:
+//     - a select without a default must have a case receiving from a
+//     signal channel (chan struct{} — ctx.Done(), stop/done
+//     channels) so cancellation can preempt it;
+//     - bare channel receives/sends outside a select block forever if
+//     the peer dies (sends to a buffered channel made in the same
+//     function are exempt — the fault-isolation result pattern);
+//     - range over a channel and condition-free for-loops containing
+//     blocking operations must be escapable via a signal-channel
+//     case or a ctx.Done()/ctx.Err() check;
+//     - time.Sleep is forbidden outright: a timer in a select is the
+//     cancellable form.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "cancellation discipline: no context.Background()/TODO() outside main and tests; " +
+		"blocking constructs in the server package must be escapable via a signal channel or ctx check",
+	Run: run,
+}
+
+// ServerPath is the package whose blocking constructs rule 2 polices.
+const ServerPath = "repro/internal/server"
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	isServer := pass.Pkg.Path() == ServerPath
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		if !isMain {
+			checkRootContexts(pass, f)
+		}
+		if isServer {
+			checkBlocking(pass, f)
+		}
+	}
+	return nil
+}
+
+// checkRootContexts flags context.Background()/context.TODO() calls.
+func checkRootContexts(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if analysis.IsPkgFunc(pass.TypesInfo, call, "context", name) {
+				pass.Reportf(call.Pos(),
+					"context.%s() in library code detaches from the caller's deadline: accept a ctx parameter instead",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// checkBlocking applies the server-package blocking rules to one file.
+func checkBlocking(pass *analysis.Pass, f *ast.File) {
+	// Channels made buffered within the enclosing declaration are
+	// non-blocking send targets by construction (the executeGuarded
+	// result pattern: make(chan execResult, 1) + guarded sends).
+	buffered := bufferedChans(pass, f)
+	// Operations that are a select clause's comm are judged by the
+	// select rule, not the bare-op rules.
+	inSelect := map[ast.Node]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				comm := cl.(*ast.CommClause).Comm
+				if comm == nil {
+					continue
+				}
+				inSelect[comm] = true
+				for _, e := range commRecvs(comm) {
+					inSelect[e] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !selectEscapable(pass, n) {
+				pass.Reportf(n.Pos(),
+					"select blocks with no escape: add a default clause or a signal-channel case (ctx.Done(), stop channel)")
+			}
+		case *ast.SendStmt:
+			if inSelect[n] {
+				return true
+			}
+			if id, ok := analysis.Unparen(n.Chan).(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && buffered[v] {
+					return true
+				}
+			}
+			pass.Reportf(n.Pos(),
+				"bare channel send can block forever: guard it with a select carrying a signal-channel case")
+		case *ast.UnaryExpr:
+			if n.Op.String() != "<-" || inSelect[n] {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"bare channel receive can block forever: guard it with a select carrying a signal-channel case")
+		case *ast.RangeStmt:
+			if isChanType(pass.TypesInfo.TypeOf(n.X)) && !hasCtxCheck(pass, n.Body) {
+				pass.Reportf(n.Pos(),
+					"range over a channel blocks until close: ensure a ctx.Done()/ctx.Err() escape in the body or document the close-based drain")
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && bodyBlocks(pass, n.Body) && !hasCtxCheck(pass, n.Body) && !hasSignalRecv(pass, n.Body) {
+				pass.Reportf(n.Pos(),
+					"unbounded loop with blocking operations has no ctx.Done()/ctx.Err() or signal-channel escape")
+			}
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(pass.TypesInfo, n, "time", "Sleep") {
+				pass.Reportf(n.Pos(),
+					"time.Sleep is uncancellable: use a time.Timer in a select with a signal-channel case")
+			}
+		}
+		return true
+	})
+}
+
+// commRecvs extracts the receive expressions appearing in a select
+// clause's comm statement (`case <-ch:` or `case v := <-ch:`).
+func commRecvs(comm ast.Stmt) []*ast.UnaryExpr {
+	var exprs []ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		exprs = []ast.Expr{c.X}
+	case *ast.AssignStmt:
+		exprs = c.Rhs
+	}
+	var out []*ast.UnaryExpr
+	for _, e := range exprs {
+		if u, ok := analysis.Unparen(e).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// bodyBlocks reports whether the body contains a construct that can
+// block: a channel operation, a select, a range over a channel, or a
+// time.Sleep call.
+func bodyBlocks(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.TypesInfo.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(pass.TypesInfo, n, "time", "Sleep") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// selectEscapable reports whether a select can always be preempted: a
+// default clause, or a case receiving from a signal channel
+// (chan struct{} — the shape of ctx.Done() and stop/done channels).
+func selectEscapable(pass *analysis.Pass, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm := cl.(*ast.CommClause).Comm
+		if comm == nil {
+			return true // default clause
+		}
+		var recv ast.Expr
+		switch c := comm.(type) {
+		case *ast.ExprStmt:
+			recv = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recv = c.Rhs[0]
+			}
+		}
+		if u, ok := analysis.Unparen(recv).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			if isSignalChan(pass.TypesInfo.TypeOf(u.X)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bufferedChans collects variables assigned from make(chan T, n) with
+// a nonzero constant capacity anywhere in the file.
+func bufferedChans(pass *analysis.Pass, f *ast.File) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if !isChanType(pass.TypesInfo.TypeOf(call.Args[0])) {
+				continue
+			}
+			if lit, ok := analysis.Unparen(call.Args[1]).(*ast.BasicLit); !ok || lit.Value == "0" {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if id, ok := analysis.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasCtxCheck reports whether the body references a context's Done or
+// Err method — the loop's escape hatch.
+func hasCtxCheck(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && analysis.IsContextDoneOrErr(pass.TypesInfo, call) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// hasSignalRecv reports whether the body receives from a signal
+// channel anywhere (inside or outside a select).
+func hasSignalRecv(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" && isSignalChan(pass.TypesInfo.TypeOf(u.X)) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isSignalChan reports whether t is a channel of struct{} — the
+// conventional shape of pure-signal channels (ctx.Done(), close-based
+// stop channels).
+func isSignalChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	s, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}

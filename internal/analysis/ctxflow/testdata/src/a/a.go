@@ -1,0 +1,18 @@
+// Fixture: library code conjuring root contexts — every one detaches
+// the work from the caller's deadline.
+package a
+
+import "context"
+
+func run() error {
+	ctx := context.Background() // want `context\.Background\(\) in library code detaches from the caller's deadline`
+	return work(ctx)
+}
+
+func todo() error {
+	return work(context.TODO()) // want `context\.TODO\(\) in library code detaches from the caller's deadline`
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,23 @@
+// Fixture: the sanctioned shape — contexts flow in as parameters and
+// derive via WithCancel/WithTimeout, never from Background/TODO.
+package clean
+
+import (
+	"context"
+	"time"
+)
+
+func run(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,11 @@
+// Fixture: package main is the one place a root context may be
+// created — the process entry point owns the lifecycle.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}

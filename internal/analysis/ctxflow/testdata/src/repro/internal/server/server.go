@@ -1,0 +1,101 @@
+// Fixture: a stand-in for the server package (the package path is
+// what scopes rule 2) exercising every blocking-construct rule.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+type job struct{ id int }
+
+type mgr struct {
+	queue chan *job
+	stop  chan struct{}
+}
+
+// Escapable selects: a default clause or a signal-channel case.
+func (m *mgr) submit(j *job) bool {
+	select {
+	case m.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *mgr) waitStop(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-m.stop:
+	}
+}
+
+// A select whose cases carry data channels only can never be
+// preempted by cancellation.
+func (m *mgr) take(results chan int) int {
+	select { // want `select blocks with no escape`
+	case j := <-m.queue:
+		return j.id
+	case r := <-results:
+		return r
+	}
+}
+
+func (m *mgr) bare(done chan struct{}, j *job) {
+	<-done       // want `bare channel receive can block forever`
+	m.queue <- j // want `bare channel send can block forever`
+}
+
+// Sends to a buffered channel made in the same declaration are the
+// fault-isolation result pattern — non-blocking by construction.
+func guarded(ctx context.Context) (int, error) {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func (m *mgr) worker(ctx context.Context) {
+	for j := range m.queue {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = j.id
+	}
+}
+
+func (m *mgr) drainForever() {
+	for j := range m.queue { // want `range over a channel blocks until close`
+		_ = j.id
+	}
+}
+
+func (m *mgr) janitor(ctx context.Context, tick *time.Ticker) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (m *mgr) spin(results chan int) {
+	for { // want `unbounded loop with blocking operations has no ctx\.Done\(\)/ctx\.Err\(\) or signal-channel escape`
+		select { // want `select blocks with no escape`
+		case r := <-results:
+			_ = r
+		}
+	}
+}
+
+func nap() {
+	time.Sleep(time.Second) // want `time\.Sleep is uncancellable`
+}

@@ -8,8 +8,15 @@
 // transactional design exists to prevent. The analyzer flags any
 // blank-discarded or wholly ignored error returned by a function
 // whose package lives inside the module (std and third-party callees
-// such as fmt.Fprintf keep their conventional idioms). Deferred and
-// `go`-launched cleanup calls are exempt.
+// such as fmt.Fprintf keep their conventional idioms). `go`-launched
+// calls are exempt.
+//
+// Deferred calls are held to the same bar: `defer restore()` on a
+// module-internal error-returning function discards the error the
+// restore path exists to report, and `defer f.Close()` on a file
+// opened for writing (os.Create/os.OpenFile) throws away the
+// write-back error — the one place the OS reports a failed flush.
+// Read-only files keep the conventional deferred Close.
 package errdrop
 
 import (
@@ -36,6 +43,7 @@ func run(pass *analysis.Pass) error {
 		if pass.IsTestFile(f.Pos()) {
 			continue
 		}
+		writable := writableFiles(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
@@ -44,11 +52,66 @@ func run(pass *analysis.Pass) error {
 				if call, ok := analysis.Unparen(n.X).(*ast.CallExpr); ok {
 					checkBareCall(pass, call)
 				}
+			case *ast.DeferStmt:
+				checkDefer(pass, n, writable)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// writableFiles collects variables bound from os.Create/os.OpenFile in
+// the file — handles whose deferred Close discards the write-back
+// error.
+func writableFiles(pass *analysis.Pass, f *ast.File) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := analysis.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !analysis.IsPkgFunc(pass.TypesInfo, call, "os", "Create") &&
+			!analysis.IsPkgFunc(pass.TypesInfo, call, "os", "OpenFile") {
+			return true
+		}
+		if id, ok := analysis.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				out[v] = true
+			} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkDefer flags deferred calls that discard errors: module-internal
+// error-returning functions, and Close on a writable file handle.
+func checkDefer(pass *analysis.Pass, d *ast.DeferStmt, writable map[*types.Var]bool) {
+	call := d.Call
+	if fn := moduleCallee(pass, call); fn != nil {
+		for _, t := range results(pass, call) {
+			if types.Identical(t, errorType) {
+				pass.Reportf(d.Pos(), "error result of deferred %s discarded: wrap it in a closure that records the error", fn.Name())
+				return
+			}
+		}
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return
+	}
+	if id, ok := analysis.Unparen(sel.X).(*ast.Ident); ok {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && writable[v] {
+			pass.Reportf(d.Pos(), "deferred Close on writable file %s discards the write-back error: close explicitly and check it", id.Name)
+		}
+	}
 }
 
 // moduleCallee resolves call's target to a function defined in this

@@ -8,14 +8,14 @@ import (
 	"strconv"
 )
 
-func eval() (float64, error)  { return 0, nil }
-func apply() error            { return nil }
+func eval() (float64, error)   { return 0, nil }
+func apply() error             { return nil }
 func multi() (int, int, error) { return 0, 0, nil }
 
 func drops() float64 {
-	v, _ := eval() // want `error result of eval discarded with _`
-	_ = apply()    // want `error result of apply discarded with _`
-	apply()        // want `error result of apply ignored`
+	v, _ := eval()     // want `error result of eval discarded with _`
+	_ = apply()        // want `error result of apply discarded with _`
+	apply()            // want `error result of apply ignored`
 	a, _, _ := multi() // want `error result of multi discarded with _`
 	return v + float64(a)
 }
@@ -39,6 +39,29 @@ func stdIdioms(f *os.File) {
 	n, _ := strconv.Atoi("3")
 	defer f.Close()
 	_ = n
+}
+
+// Deferred discards: the error from a module-internal restore path,
+// and the write-back error of a file opened for writing.
+func deferred() error {
+	defer apply() // want `error result of deferred apply discarded`
+	f, err := os.Create("out.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on writable file f discards the write-back error`
+	_, err = f.WriteString("{}")
+	return err
+}
+
+func deferredOpenFile() error {
+	f, err := os.OpenFile("out.log", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on writable file f discards the write-back error`
+	_, err = f.WriteString("line\n")
+	return err
 }
 
 // Retry shape that swallows failures: a bounded re-run loop must

@@ -1,0 +1,12 @@
+package familymirror_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/familymirror"
+)
+
+func TestFamilyMirror(t *testing.T) {
+	analysistest.Run(t, familymirror.Analyzer, "a", "clean")
+}

@@ -1,0 +1,191 @@
+package analysis
+
+// Machine-readable report rendering for cmd/statleaklint: a compact
+// JSON form for scripting and SARIF 2.1.0 for CI annotation (GitHub
+// code scanning, the workflow problem matcher). Both forms are
+// deterministic — findings arrive position-sorted from RunAnalyzers
+// and rules are emitted in registration order — so golden-file tests
+// can pin the exact bytes.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is one finding in the -json report.
+type jsonFinding struct {
+	Analyzer       string `json:"analyzer"`
+	Severity       string `json:"severity"`
+	File           string `json:"file"`
+	Line           int    `json:"line"`
+	Column         int    `json:"column"`
+	Message        string `json:"message"`
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
+}
+
+// jsonReport is the -json document: schema version, the analyzer
+// roster, and every finding (suppressed ones flagged, never gating).
+type jsonReport struct {
+	Version   int           `json:"version"`
+	Tool      string        `json:"tool"`
+	Analyzers []string      `json:"analyzers"`
+	Findings  []jsonFinding `json:"findings"`
+}
+
+func toJSONFindings(fs []Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			Analyzer:       f.Analyzer,
+			Severity:       f.Severity.String(),
+			File:           f.Pos.Filename,
+			Line:           f.Pos.Line,
+			Column:         f.Pos.Column,
+			Message:        f.Message,
+			Suppressed:     f.Suppressed,
+			SuppressReason: f.SuppressReason,
+		})
+	}
+	return out
+}
+
+// WriteJSON renders the run as the statleaklint JSON report.
+func WriteJSON(w io.Writer, analyzers []*Analyzer, res *Result) error {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	doc := jsonReport{
+		Version:   1,
+		Tool:      "statleaklint",
+		Analyzers: names,
+		Findings:  append(toJSONFindings(res.Findings), toJSONFindings(res.Suppressed)...),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// SARIF 2.1.0 — the subset GitHub code scanning and problem matchers
+// consume: one run, one rule per analyzer, one result per finding,
+// suppressed findings carried with an inSource suppression record.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case SeverityWarning:
+		return "warning"
+	case SeverityInfo:
+		return "note"
+	default:
+		return "error"
+	}
+}
+
+func toSARIFResult(f Finding) sarifResult {
+	r := sarifResult{
+		RuleID:  f.Analyzer,
+		Level:   sarifLevel(f.Severity),
+		Message: sarifMessage{Text: f.Message},
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			},
+		}},
+	}
+	if f.Suppressed {
+		r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.SuppressReason}}
+	}
+	return r
+}
+
+// WriteSARIF renders the run as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, res *Result) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	// The framework's own suppression-hygiene findings use a pseudo
+	// rule; declare it so every result's ruleId resolves.
+	rules = append(rules, sarifRule{ID: "suppression",
+		ShortDescription: sarifMessage{Text: "every lint:ignore suppression must carry a reason"}})
+	results := make([]sarifResult, 0, len(res.Findings)+len(res.Suppressed))
+	for _, f := range res.Findings {
+		results = append(results, toSARIFResult(f))
+	}
+	for _, f := range res.Suppressed {
+		results = append(results, toSARIFResult(f))
+	}
+	doc := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "statleaklint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

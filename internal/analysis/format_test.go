@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the format golden files")
+
+// goldenResult is a fixed suite result covering the report surface:
+// both severities in the active findings, plus a suppressed finding
+// carrying its justification.
+func goldenResult() ([]*Analyzer, *Result) {
+	warn := SeverityWarning
+	analyzers := []*Analyzer{
+		{Name: "alpha", Doc: "flags alpha conditions"},
+		{Name: "beta", Doc: "flags beta conditions", Severity: warn},
+	}
+	res := &Result{
+		Findings: []Finding{
+			{
+				Analyzer: "alpha",
+				Severity: SeverityError,
+				Pos:      token.Position{Filename: "pkg/file.go", Line: 10, Column: 2},
+				Message:  "alpha condition violated",
+			},
+			{
+				Analyzer: "beta",
+				Severity: SeverityWarning,
+				Pos:      token.Position{Filename: "pkg/other.go", Line: 3, Column: 5},
+				Message:  "beta condition violated",
+			},
+		},
+		Suppressed: []Finding{
+			{
+				Analyzer:       "alpha",
+				Severity:       SeverityError,
+				Pos:            token.Position{Filename: "pkg/file.go", Line: 20, Column: 1},
+				Message:        "alpha condition violated",
+				Suppressed:     true,
+				SuppressReason: "sanctioned by design review",
+			},
+		},
+	}
+	return analyzers, res
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run %s -update ./internal/analysis` to create): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", t.Name(), path, got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	analyzers, res := goldenResult()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, analyzers, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	checkGolden(t, "report.json", buf.Bytes())
+}
+
+func TestWriteSARIFGolden(t *testing.T) {
+	analyzers, res := goldenResult()
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, analyzers, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []map[string]any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("SARIF report does not parse: %v", err)
+	}
+	if parsed.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", parsed.Version)
+	}
+	if len(parsed.Runs) != 1 {
+		t.Fatalf("SARIF runs = %d, want 1", len(parsed.Runs))
+	}
+	if got := len(parsed.Runs[0].Results); got != 3 {
+		t.Errorf("SARIF results = %d, want 3 (2 active + 1 suppressed)", got)
+	}
+	checkGolden(t, "report.sarif", buf.Bytes())
+}

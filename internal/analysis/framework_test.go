@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var (
+	fwExportOnce sync.Once
+	fwExports    map[string]string
+	fwExportErr  error
+)
+
+// checkSrc type-checks one in-memory source file as package path
+// "p" against the stdlib export data.
+func checkSrc(t *testing.T, src string) *LoadedPackage {
+	t.Helper()
+	fwExportOnce.Do(func() {
+		fwExports, fwExportErr = ExportMap(".", "std")
+	})
+	if fwExportErr != nil {
+		t.Fatalf("building export map: %v", fwExportErr)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, fwExports, nil)
+	lp, err := CheckFiles(fset, "p", []string{file}, imp, "")
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	return lp
+}
+
+func TestInTestdata(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/analysis/errdrop/testdata/src/a", true},
+		{"testdata", true},
+		{"a/testdata", true},
+		{"testdata/src/a", true},
+		{"repro/internal/analysis", false},
+		{"repro/internal/testdatalike", false},
+		{"mytestdata/src", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := InTestdata(c.path); got != c.want {
+			t.Errorf("InTestdata(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestLoadSkipsTestdata(t *testing.T) {
+	// An explicit testdata package argument must be dropped: cmd/go
+	// only excludes testdata from wildcard expansion, so the loader has
+	// to enforce the convention for direct arguments too.
+	pkgs, err := Load("../..", "./internal/analysis/errdrop/testdata/src/a")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, lp := range pkgs {
+		if InTestdata(lp.Path) {
+			t.Errorf("Load returned testdata package %s", lp.Path)
+		}
+	}
+	if len(pkgs) != 0 {
+		t.Errorf("Load returned %d package(s) for a testdata-only pattern, want 0", len(pkgs))
+	}
+}
+
+const callGraphSrc = `package p
+
+import (
+	"context"
+	"sync"
+)
+
+type srv struct {
+	queue chan int
+	wg    sync.WaitGroup
+}
+
+func (s *srv) drain() {
+	for range s.queue {
+	}
+}
+
+func (s *srv) spawnDrain() {
+	go s.drain()
+}
+
+func (s *srv) waitAll() {
+	s.wg.Wait()
+}
+
+func (s *srv) callsWait() {
+	s.waitAll()
+}
+
+func (s *srv) ctxed(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func pure(a, b int) int { return a + b }
+
+func callsPure() int { return pure(1, 2) }
+`
+
+func TestCallGraphFacts(t *testing.T) {
+	lp := checkSrc(t, callGraphSrc)
+	g := BuildCallGraph(lp)
+	fn := func(name string) *CGNode {
+		t.Helper()
+		for f, n := range g.nodes {
+			if f.Name() == name {
+				return n
+			}
+		}
+		t.Fatalf("function %s not in call graph", name)
+		return nil
+	}
+	if n := fn("drain"); !g.FlowsIntoGoroutine(n.Fn) {
+		t.Errorf("drain should flow into a goroutine (go s.drain())")
+	}
+	if n := fn("drain"); !g.MayBlock(n.Fn) || !g.HasStopSignal(n.Fn) {
+		t.Errorf("drain ranges over a channel: MayBlock and HasStopSignal should hold")
+	}
+	if n := fn("spawnDrain"); g.MayBlock(n.Fn) {
+		t.Errorf("spawnDrain only launches a goroutine: the go subtree must not make the spawner blocking")
+	}
+	if n := fn("callsWait"); !g.MayBlock(n.Fn) {
+		t.Errorf("callsWait reaches wg.Wait through a callee: MayBlock should propagate")
+	}
+	if n := fn("ctxed"); !g.HasStopSignal(n.Fn) {
+		t.Errorf("ctxed checks ctx.Err(): HasStopSignal should hold")
+	}
+	if n := fn("callsPure"); g.MayBlock(n.Fn) || g.HasStopSignal(n.Fn) || g.FlowsIntoGoroutine(n.Fn) {
+		t.Errorf("callsPure has no concurrency facts, got mayBlock=%v hasStop=%v goReachable=%v",
+			g.MayBlock(n.Fn), g.HasStopSignal(n.Fn), g.FlowsIntoGoroutine(n.Fn))
+	}
+}
+
+const suppressSrc = `package p
+
+func risky() {}
+
+func a() {
+	//lint:ignore testrule the call is sanctioned here for the test
+	risky()
+}
+
+func b() {
+	risky()
+}
+
+func c() {
+	//lint:ignore testrule
+	risky()
+}
+
+func d() {
+	//lint:ignore otherrule reason that does not match testrule
+	risky()
+}
+`
+
+func TestSuppressions(t *testing.T) {
+	lp := checkSrc(t, suppressSrc)
+	calls := &Analyzer{
+		Name: "testrule",
+		Doc:  "flags every call",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						pass.Reportf(call.Pos(), "call flagged")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	res, err := RunAnalyzersDetail([]*LoadedPackage{lp}, []*Analyzer{calls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("want exactly the suppression in a() honored, got %d suppressed", len(res.Suppressed))
+	}
+	if res.Suppressed[0].SuppressReason != "the call is sanctioned here for the test" {
+		t.Errorf("suppressed finding lost its reason: %q", res.Suppressed[0].SuppressReason)
+	}
+	// Active: the bare call in b(), the call in c() (its ignore is
+	// malformed so it must NOT suppress), the call in d() (analyzer
+	// mismatch), plus the reasonless-ignore problem finding from c().
+	var problems, active int
+	for _, f := range res.Findings {
+		if f.Analyzer == "suppression" {
+			problems++
+		} else {
+			active++
+		}
+	}
+	if problems != 1 {
+		t.Errorf("want 1 enforced-reason problem finding, got %d", problems)
+	}
+	if active != 3 {
+		t.Errorf("want 3 active testrule findings (b, c, d), got %d: %v", active, res.Findings)
+	}
+}

@@ -1,0 +1,123 @@
+// Package goroleak defines the statleaklint analyzer that demands a
+// reachable stop signal for every goroutine: a ctx.Done()/ctx.Err()
+// check, a channel operation (a parked goroutine can be released by a
+// send or close from outside), a close() of a done channel, or a
+// WaitGroup.Done that makes its exit joinable.
+//
+// A goroutine with none of those — typically a bare polling loop or a
+// sleep loop — can neither be cancelled nor observed, and outlives
+// every Shutdown path: the classic leak the manager/worker rework in
+// PR 4 was shaped to prevent. One-shot goroutines that provably run
+// straight through (no loops, no unbounded blocking) are exempt;
+// they stop by finishing.
+//
+// Named go targets are judged through the package call graph
+// (HasStopSignal/MayBlock are propagated over synchronous callees), so
+// `go m.worker()` is as analyzable as a closure literal.
+package goroleak
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every goroutine needs a reachable stop signal: a ctx check, channel operation, " +
+		"close, or WaitGroup join — bare polling/sleep loops leak past Shutdown",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, gs *ast.GoStmt) {
+	if lit, ok := analysis.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if pass.Graph != nil && pass.Graph.BodyHasStopSignal(lit.Body) {
+			return
+		}
+		if hasLoop(lit.Body) || blocksWithoutSignal(pass, lit.Body) {
+			pass.Reportf(gs.Pos(),
+				"goroutine has no reachable stop signal (ctx check, channel op, close, or WaitGroup join): it outlives every shutdown path")
+		}
+		return
+	}
+	fn := analysis.StaticCallee(pass.TypesInfo, gs.Call)
+	if fn == nil || pass.Graph == nil {
+		return // dynamic target: not judgeable statically
+	}
+	node := pass.Graph.Node(fn)
+	if node == nil || node.Decl == nil {
+		return // out-of-package target: body not visible
+	}
+	if pass.Graph.HasStopSignal(fn) {
+		return
+	}
+	if hasLoop(node.Decl.Body) || pass.Graph.MayBlock(fn) {
+		pass.Reportf(gs.Pos(),
+			"goroutine %s has no reachable stop signal (ctx check, channel op, close, or WaitGroup join): it outlives every shutdown path",
+			fn.Name())
+	}
+}
+
+// hasLoop reports whether body contains a for/range loop (nested
+// function literals excluded — they run on their own goroutines or
+// synchronously elsewhere).
+func hasLoop(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// blocksWithoutSignal reports whether body contains an unbounded
+// blocking call that is not itself a release point — WaitGroup.Wait,
+// Cond.Wait, or an in-package callee that may block without carrying
+// a stop signal. (Channel operations are release points and already
+// count as stop signals; time.Sleep is bounded.)
+func blocksWithoutSignal(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		info := pass.TypesInfo
+		if analysis.IsMethodOf(info, call, "sync", "WaitGroup", "Wait") ||
+			analysis.IsMethodOf(info, call, "sync", "Cond", "Wait") {
+			found = true
+		}
+		if fn := analysis.StaticCallee(info, call); fn != nil && pass.Graph != nil {
+			if pass.Graph.MayBlock(fn) && !pass.Graph.HasStopSignal(fn) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "a", "clean")
+}

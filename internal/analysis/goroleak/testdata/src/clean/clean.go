@@ -1,0 +1,69 @@
+// Fixture: stoppable goroutines — ctx-driven loops, channel-released
+// workers, WaitGroup-joined work, close-signalled completions, and
+// one-shot bodies that stop by finishing.
+package clean
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type job struct{ id int }
+
+func ctxLoop(ctx context.Context, tick *time.Ticker) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+func chanWorker(queue chan *job) {
+	go func() {
+		for j := range queue {
+			_ = j.id
+		}
+	}()
+}
+
+func joined(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func closer(done chan struct{}, work func()) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+func resultSender(results chan int, compute func() int) {
+	go func() {
+		results <- compute()
+	}()
+}
+
+// One-shot straight-line body: stops by finishing.
+func oneShot(log func(string)) {
+	go log("started")
+}
+
+// drain has a stop signal (channel range) reachable from the named go
+// target through the call graph.
+func drain(queue chan *job) {
+	for range queue {
+	}
+}
+
+func spawnDrain(queue chan *job) {
+	go drain(queue)
+}

@@ -1,0 +1,27 @@
+// Fixture: journal rounds that violate generation ordering — a
+// StartJournal never retired, and a RestoreJournal retiring a round
+// this function never started.
+package a
+
+import (
+	"repro/internal/leakage"
+	"repro/internal/ssta"
+)
+
+func score(acc *leakage.Accumulator, gate int) float64 {
+	acc.StartJournal() // want `StartJournal on Accumulator without a RestoreJournal`
+	acc.Update(gate)
+	return acc.Quantile(0.99)
+}
+
+func cleanup(inc *ssta.Incremental) {
+	inc.RestoreJournal() // want `RestoreJournal on Incremental without a StartJournal`
+}
+
+// mixed starts one journal type and restores the other: both halves
+// are generation-ordering violations.
+func mixed(acc *leakage.Accumulator, inc *ssta.Incremental, gate int) {
+	acc.StartJournal() // want `StartJournal on Accumulator without a RestoreJournal`
+	acc.Update(gate)
+	inc.RestoreJournal() // want `RestoreJournal on Incremental without a StartJournal`
+}

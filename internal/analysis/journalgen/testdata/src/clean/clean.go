@@ -1,0 +1,36 @@
+// Fixture: generation-ordered journal rounds — every start retired in
+// the same function, including through a different expression path to
+// the same journal (the engine.scoreAll shape).
+package clean
+
+import (
+	"repro/internal/leakage"
+	"repro/internal/ssta"
+)
+
+type worker struct {
+	acc *leakage.Accumulator
+	inc *ssta.Incremental
+}
+
+func round(w *worker, gates []int) float64 {
+	w.acc.StartJournal()
+	inc := w.inc
+	inc.StartJournal()
+	var q float64
+	for _, g := range gates {
+		w.acc.Update(g)
+		inc.Update(g)
+		q = w.acc.Quantile(0.99)
+	}
+	w.acc.RestoreJournal()
+	w.inc.RestoreJournal()
+	return q
+}
+
+func deferred(acc *leakage.Accumulator, gate int) float64 {
+	acc.StartJournal()
+	defer acc.RestoreJournal()
+	acc.Update(gate)
+	return acc.Quantile(0.99)
+}

@@ -1,0 +1,12 @@
+// Fixture: rogue.go is not an owner file of the journal state, so any
+// read or write of the replay log or generation counter here bypasses
+// the generation-ordered replay path.
+package engine
+
+func (e *Engine) peekLog() int {
+	return len(e.log) // want `journal state Engine\.log touched outside its owner files`
+}
+
+func (e *Engine) bumpGen() {
+	e.gen++ // want `journal state Engine\.gen touched outside its owner files`
+}

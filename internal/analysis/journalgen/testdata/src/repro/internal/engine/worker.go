@@ -1,0 +1,22 @@
+// Fixture: a stand-in for the engine package (the package path is what
+// the ownership table keys on). worker.go is an owner file — it may
+// touch the replay log and generation counter.
+package engine
+
+type move struct{ gate int }
+
+type Engine struct {
+	log []move
+	gen int
+}
+
+func (e *Engine) logMove(m move) {
+	e.log = append(e.log, m)
+}
+
+func (e *Engine) syncWorkers() {
+	for range e.log {
+		e.gen++
+	}
+	e.log = e.log[:0]
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 )
 
 // LoadedPackage is one type-checked package ready for analysis.
@@ -143,10 +144,29 @@ func CheckFiles(fset *token.FileSet, path string, filenames []string, imp types.
 	return &LoadedPackage{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
 }
 
+// InTestdata reports whether a package path or directory contains a
+// "testdata" element. Such directories hold analyzer fixtures — code
+// that deliberately violates the suite's invariants — and cmd/go only
+// skips them for wildcard patterns ("./..."); an explicit pattern, a
+// stray symlink, or a future cmd/go behavior change would feed them to
+// the loader and fail `make lint` on intentional violations. Load
+// filters them out unconditionally.
+func InTestdata(path string) bool {
+	for _, elem := range strings.FieldsFunc(path, func(r rune) bool {
+		return r == '/' || r == os.PathSeparator
+	}) {
+		if elem == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
 // Load lists, parses, and type-checks the packages matched by patterns
 // (relative to dir), returning them in deterministic import-path
 // order. Only non-test GoFiles are loaded: the suite's invariants
-// apply to production code.
+// apply to production code. Packages under a testdata directory are
+// skipped explicitly (see InTestdata).
 func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 	listed, err := goList(dir, patterns...)
 	if err != nil {
@@ -159,6 +179,9 @@ func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 			exports[lp.ImportPath] = lp.Export
 		}
 		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if InTestdata(lp.ImportPath) || InTestdata(lp.Dir) {
 			continue
 		}
 		if lp.Error != nil {

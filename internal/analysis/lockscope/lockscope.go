@@ -1,0 +1,332 @@
+// Package lockscope defines the statleaklint analyzer guarding the
+// server's mutex discipline: critical sections stay short and
+// non-blocking, and every Lock is released on every path.
+//
+// Two rules, tracked by a source-order walk of each function body with
+// branch bodies explored on copies of the held-lock set:
+//
+//  1. While a sync.Mutex/RWMutex is held, no statement may block —
+//     channel operations, selects without a default, time.Sleep,
+//     WaitGroup.Wait, or a call to an in-package function the call
+//     graph marks as may-block. A worker parked on a channel while
+//     holding the manager's mutex stalls every Submit/Get/Shutdown
+//     behind it.
+//
+//  2. A Lock must be paired: released by a defer, or unlocked before
+//     every return and before the function's end. Early returns that
+//     leak a held lock deadlock the next caller, silently.
+//
+// The walk is deliberately optimistic across join points (after an
+// if/else both arms are assumed to restore the entry state), so it
+// under-reports rather than false-positives on the unlock-per-branch
+// style the server uses.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "no blocking operation while holding a sync.Mutex/RWMutex, " +
+		"and every Lock must be released by defer or on every path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			held := map[string]token.Pos{}
+			if w.block(fd.Body, held) {
+				continue // every path returns; returns are checked in place
+			}
+			for key, pos := range held {
+				if !w.deferred[key] {
+					pass.Reportf(pos, "%s.Lock() is not released on the fall-through path: unlock before the function ends or defer the unlock", key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	deferred map[string]bool // lock keys released by a defer
+}
+
+// lockOp classifies a statement as a Lock/Unlock on a sync mutex and
+// returns the receiver's printed form as the lock key.
+func (w *walker) lockOp(stmt ast.Stmt) (key string, acquire, release bool) {
+	var call *ast.CallExpr
+	isDefer := false
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+		isDefer = true
+	}
+	if call == nil {
+		return "", false, false
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	var acq, rel bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		rel = true
+	default:
+		return "", false, false
+	}
+	if !isSyncMutex(w.pass.TypesInfo.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	if isDefer && rel {
+		if w.deferred == nil {
+			w.deferred = map[string]bool{}
+		}
+		w.deferred[key] = true
+		return "", false, false
+	}
+	if isDefer {
+		return "", false, false
+	}
+	return key, acq, rel
+}
+
+// block walks stmts in order, mutating held, and reports whether the
+// list definitely terminates (every path returns) — statements after a
+// terminating one are unreachable, so a lock still "held" there is not
+// a fall-through leak.
+func (w *walker) block(body *ast.BlockStmt, held map[string]token.Pos) bool {
+	terminated := false
+	for _, stmt := range body.List {
+		if w.stmt(stmt, held) {
+			terminated = true
+		}
+	}
+	return terminated
+}
+
+// stmt processes one statement and reports whether it terminates the
+// enclosing path.
+func (w *walker) stmt(stmt ast.Stmt, held map[string]token.Pos) bool {
+	if key, acq, rel := w.lockOp(stmt); key != "" {
+		if acq {
+			held[key] = stmt.Pos()
+		} else if rel {
+			delete(held, key)
+		}
+		return false
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.block(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkBlocking(s.Cond, held)
+		bodyTerm := w.block(s.Body, copyHeld(held))
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, copyHeld(held))
+		}
+		return bodyTerm && elseTerm
+	case *ast.ForStmt:
+		w.block(s.Body, copyHeld(held))
+		w.checkBlocking(s.Cond, held)
+		return false
+	case *ast.RangeStmt:
+		w.checkBlocking(s.X, held)
+		w.block(s.Body, copyHeld(held))
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.checkBlocking(stmt, held)
+		bodies, hasDefaultClause := clauseBodies(stmt)
+		allTerm := len(bodies) > 0
+		for _, cl := range bodies {
+			h := copyHeld(held)
+			term := false
+			for _, st := range cl {
+				if w.stmt(st, h) {
+					term = true
+				}
+			}
+			if !term {
+				allTerm = false
+			}
+		}
+		// A select always executes some clause; a switch only
+		// guarantees that with a default.
+		_, isSelect := stmt.(*ast.SelectStmt)
+		return allTerm && (isSelect || hasDefaultClause)
+	case *ast.ReturnStmt:
+		w.checkBlocking(stmt, held)
+		for key := range held {
+			if !w.deferred[key] {
+				w.pass.Reportf(stmt.Pos(), "return while holding %s.Lock(): unlock first or defer the unlock", key)
+			}
+		}
+		return true
+	case *ast.BranchStmt, *ast.ExprStmt:
+		w.checkBlocking(stmt, held)
+		if e, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := e.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	w.checkBlocking(stmt, held)
+	return false
+}
+
+// clauseBodies returns the statement lists of a switch/select's
+// cases, and whether a default clause is among them.
+func clauseBodies(stmt ast.Stmt) ([][]ast.Stmt, bool) {
+	var out [][]ast.Stmt
+	var list []ast.Stmt
+	hasDefaultClause := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		list = s.Body.List
+	case *ast.TypeSwitchStmt:
+		list = s.Body.List
+	case *ast.SelectStmt:
+		list = s.Body.List
+	}
+	for _, cl := range list {
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefaultClause = true
+			}
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefaultClause = true
+			}
+			out = append(out, c.Body)
+		}
+	}
+	return out, hasDefaultClause
+}
+
+// checkBlocking reports any blocking construct inside node while locks
+// are held. Function literals and go-statement subtrees are excluded —
+// they do not block the holder.
+func (w *walker) checkBlocking(node ast.Node, held map[string]token.Pos) {
+	if node == nil || len(held) == 0 {
+		return
+	}
+	holder := anyKey(held)
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			w.pass.Reportf(n.Pos(), "channel send while holding %s.Lock(): release the lock before blocking", holder)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.pass.Reportf(n.Pos(), "channel receive while holding %s.Lock(): release the lock before blocking", holder)
+				return false
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				w.pass.Reportf(n.Pos(), "blocking select while holding %s.Lock(): release the lock or add a default clause", holder)
+			}
+			return false // comms judged as the select; clause bodies walked by stmt()
+		case *ast.RangeStmt:
+			if t := w.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); !ok {
+					return true
+				}
+				w.pass.Reportf(n.Pos(), "range over a channel while holding %s.Lock(): release the lock before blocking", holder)
+			}
+		case *ast.CallExpr:
+			if w.blockingCall(n) {
+				w.pass.Reportf(n.Pos(), "call to a blocking function while holding %s.Lock(): release the lock before blocking", holder)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall reports whether call is a known blocking primitive or
+// an in-package function the call graph marks may-block.
+func (w *walker) blockingCall(call *ast.CallExpr) bool {
+	info := w.pass.TypesInfo
+	if analysis.IsPkgFunc(info, call, "time", "Sleep") ||
+		analysis.IsMethodOf(info, call, "sync", "WaitGroup", "Wait") {
+		return true
+	}
+	if fn := analysis.StaticCallee(info, call); fn != nil && w.pass.Graph != nil {
+		return w.pass.Graph.MayBlock(fn)
+	}
+	return false
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cl.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncMutex reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func anyKey(held map[string]token.Pos) string {
+	for k := range held {
+		return k
+	}
+	return ""
+}

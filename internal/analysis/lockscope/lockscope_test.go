@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, lockscope.Analyzer, "a", "clean")
+}

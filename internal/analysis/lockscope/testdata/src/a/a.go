@@ -1,0 +1,76 @@
+// Fixture: critical sections that block while holding a mutex, and
+// locks leaked across returns.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type mgr struct {
+	mu    sync.Mutex
+	state int
+	queue chan int
+	wg    sync.WaitGroup
+}
+
+func (m *mgr) sendHeld(v int) {
+	m.mu.Lock()
+	m.queue <- v // want `channel send while holding m\.mu\.Lock\(\)`
+	m.mu.Unlock()
+}
+
+func (m *mgr) recvHeld() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return <-m.queue // want `channel receive while holding m\.mu\.Lock\(\)`
+}
+
+func (m *mgr) selectHeld(stop chan struct{}) {
+	m.mu.Lock()
+	select { // want `blocking select while holding m\.mu\.Lock\(\)`
+	case v := <-m.queue:
+		m.state = v
+	case <-stop:
+	}
+	m.mu.Unlock()
+}
+
+func (m *mgr) sleepHeld() {
+	m.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to a blocking function while holding m\.mu\.Lock\(\)`
+	m.mu.Unlock()
+}
+
+func (m *mgr) waitHeld() {
+	m.mu.Lock()
+	m.wg.Wait() // want `call to a blocking function while holding m\.mu\.Lock\(\)`
+	m.mu.Unlock()
+}
+
+// drain blocks on the queue; calling it with the mutex held is an
+// interprocedural violation the call graph surfaces.
+func (m *mgr) drain() int {
+	return <-m.queue
+}
+
+func (m *mgr) drainHeld() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drain() // want `call to a blocking function while holding m\.mu\.Lock\(\)`
+}
+
+func (m *mgr) earlyReturn(v int) bool {
+	m.mu.Lock()
+	if v < 0 {
+		return false // want `return while holding m\.mu\.Lock\(\)`
+	}
+	m.state = v
+	m.mu.Unlock()
+	return true
+}
+
+func (m *mgr) leaked(v int) {
+	m.mu.Lock() // want `m\.mu\.Lock\(\) is not released on the fall-through path`
+	m.state = v
+}

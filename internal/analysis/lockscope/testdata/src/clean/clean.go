@@ -1,0 +1,57 @@
+// Fixture: disciplined mutex use — short critical sections, defer
+// unlocks, per-branch unlocks before blocking, non-blocking selects
+// under the lock, and goroutines launched (not joined) while holding.
+package clean
+
+import "sync"
+
+type mgr struct {
+	mu    sync.Mutex
+	state int
+	queue chan int
+}
+
+func (m *mgr) set(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state = v
+}
+
+func (m *mgr) get() int {
+	m.mu.Lock()
+	v := m.state
+	m.mu.Unlock()
+	return v
+}
+
+func (m *mgr) submit(v int) bool {
+	m.mu.Lock()
+	select { // non-blocking: default clause
+	case m.queue <- v:
+		m.mu.Unlock()
+		return true
+	default:
+		m.mu.Unlock()
+		return false
+	}
+}
+
+func (m *mgr) branchUnlock(v int) bool {
+	m.mu.Lock()
+	if v < 0 {
+		m.mu.Unlock()
+		return false
+	}
+	m.state = v
+	m.mu.Unlock()
+	<-m.queue // lock already released
+	return true
+}
+
+func (m *mgr) spawn() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		m.queue <- 1 // blocks the goroutine, not the holder
+	}()
+}

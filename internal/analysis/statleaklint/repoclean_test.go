@@ -1,0 +1,50 @@
+package statleaklint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/statleaklint"
+)
+
+// TestLintRepoClean runs the full analyzer suite over the repository
+// in-process and fails on any active finding: the invariants the suite
+// encodes are part of the build, not an optional side channel. Every
+// intentional exception must be a //lint:ignore with a reason (which
+// this test also re-checks via the suppression problem findings that
+// RunAnalyzers folds into the active set).
+func TestLintRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" {
+		t.Fatal("not inside a module")
+	}
+	root := filepath.Dir(gomod)
+
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, statleaklint.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d finding(s): fix them or add //lint:ignore with a reason", len(findings))
+	}
+}

@@ -1,15 +1,21 @@
 // Package statleaklint registers the analyzer suite that mechanically
-// enforces the evaluation engine's determinism and transactionality
-// invariants. cmd/statleaklint runs it standalone or as a `go vet
-// -vettool`; DESIGN.md §"Static analysis" documents each invariant.
+// enforces the evaluation engine's determinism, transactionality, and
+// concurrency-lifecycle invariants. cmd/statleaklint runs it
+// standalone or as a `go vet -vettool`; DESIGN.md §"Static analysis"
+// documents each invariant.
 package statleaklint
 
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxclone"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/enginemutate"
 	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/familymirror"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/journalgen"
+	"repro/internal/analysis/lockscope"
 	"repro/internal/analysis/seededrand"
 )
 
@@ -17,9 +23,14 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxclone.Analyzer,
+		ctxflow.Analyzer,
 		enginemutate.Analyzer,
 		errdrop.Analyzer,
+		familymirror.Analyzer,
 		floatcmp.Analyzer,
+		goroleak.Analyzer,
+		journalgen.Analyzer,
+		lockscope.Analyzer,
 		seededrand.Analyzer,
 	}
 }

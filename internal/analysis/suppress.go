@@ -1,0 +1,134 @@
+package analysis
+
+// In-source suppression: a finding can be silenced by an explicit,
+// justified comment —
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// placed on the offending line or on the line directly above it.
+// "all" matches every analyzer. The reason is mandatory: an ignore
+// without one is itself an error finding (analyzer "suppression"), so
+// the only way to silence the suite is to write down why — the
+// enforced-reason rule the CI lint-smoke step asserts. Suppressed
+// findings stay visible to the JSON/SARIF reports (SARIF carries them
+// with an inSource suppression record) but never gate the build.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressionPrefix is the comment marker, staticcheck-compatible so
+// editors that already understand lint:ignore highlight it.
+const suppressionPrefix = "//lint:ignore"
+
+// Suppression is one parsed //lint:ignore comment.
+type Suppression struct {
+	Pos       token.Position
+	Analyzers []string // analyzer names, or ["all"]
+	Reason    string
+}
+
+// Matches reports whether s silences a finding by analyzer name.
+func (s Suppression) Matches(analyzer string) bool {
+	for _, a := range s.Analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every //lint:ignore comment in files.
+// Malformed or reasonless comments come back as error findings so the
+// caller merges them into the active set.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]Suppression, []Finding) {
+	var (
+		sups     []Suppression
+		problems []Finding
+	)
+	problem := func(pos token.Position, msg string) {
+		problems = append(problems, Finding{
+			Analyzer: "suppression",
+			Severity: SeverityError,
+			Pos:      pos,
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressionPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, suppressionPrefix))
+				if rest == "" {
+					problem(pos, "lint:ignore needs an analyzer list and a reason: //lint:ignore <analyzer> <reason>")
+					continue
+				}
+				names, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if reason == "" {
+					problem(pos, "lint:ignore without a reason: every suppression must say why (//lint:ignore "+names+" <reason>)")
+					continue
+				}
+				sups = append(sups, Suppression{
+					Pos:       pos,
+					Analyzers: strings.Split(names, ","),
+					Reason:    reason,
+				})
+			}
+		}
+	}
+	return sups, problems
+}
+
+// applySuppressions splits findings into active and suppressed. A
+// suppression covers its own line (trailing comment) and the line
+// below it (comment above the offending statement).
+func applySuppressions(findings []Finding, sups []Suppression) (active, suppressed []Finding) {
+	if len(sups) == 0 {
+		return findings, nil
+	}
+	for _, f := range findings {
+		matched := false
+		for _, s := range sups {
+			if s.Pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if f.Pos.Line != s.Pos.Line && f.Pos.Line != s.Pos.Line+1 {
+				continue
+			}
+			if !s.Matches(f.Analyzer) {
+				continue
+			}
+			f.Suppressed = true
+			f.SuppressReason = s.Reason
+			suppressed = append(suppressed, f)
+			matched = true
+			break
+		}
+		if !matched {
+			active = append(active, f)
+		}
+	}
+	return active, suppressed
+}
+
+// CollectSuppressions returns every //lint:ignore comment in the
+// loaded packages plus the problem findings for malformed ones — the
+// `statleaklint -suppressions` audit listing.
+func CollectSuppressions(pkgs []*LoadedPackage) ([]Suppression, []Finding) {
+	var (
+		sups     []Suppression
+		problems []Finding
+	)
+	for _, lp := range pkgs {
+		s, p := collectSuppressions(lp.Fset, lp.Files)
+		sups = append(sups, s...)
+		problems = append(problems, p...)
+	}
+	return sups, problems
+}

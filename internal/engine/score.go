@@ -122,6 +122,7 @@ func (e *Engine) ScoreLocal(m Move) (Score, error) {
 // chunked partitioning (no work stealing) — every worker scores a
 // contiguous, input-ordered span from the same baseline state.
 func (e *Engine) ScoreAll(moves []Move) ([]Score, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use ScoreAllCtx
 	return e.ScoreAllCtx(context.Background(), moves)
 }
 
@@ -142,6 +143,7 @@ func (e *Engine) ScoreAllCtx(ctx context.Context, moves []Move) ([]Score, error)
 // ScoreAllLocal is ScoreAll with the local timing surrogate — the
 // parallel form of ScoreLocal.
 func (e *Engine) ScoreAllLocal(moves []Move) ([]Score, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use ScoreAllLocalCtx
 	return e.ScoreAllLocalCtx(context.Background(), moves)
 }
 

@@ -102,6 +102,7 @@ func (r *Result) DelayQuantile(p float64) float64 { return stats.Percentile(r.De
 // (design, Config.Samples, Config.Seed) regardless of Workers: each
 // sample derives its RNG stream from Seed and its own index.
 func Run(d *core.Design, cfg Config) (*Result, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use RunCtx
 	return RunCtx(context.Background(), d, cfg)
 }
 

@@ -46,6 +46,7 @@ func DefaultAnnealConfig() AnnealConfig {
 // of a full SSTA; the final state is the best feasible one seen. The
 // trajectory is deterministic per seed.
 func Anneal(d *core.Design, o Options, cfg AnnealConfig) (*StatResult, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use AnnealCtx
 	return AnnealCtx(context.Background(), d, o, cfg)
 }
 

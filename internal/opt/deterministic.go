@@ -19,6 +19,7 @@ import (
 // mutates d; callers wanting only the number should pass a clone.
 // The experiments use it to normalize delay targets (Tmax = m·Dmin).
 func MinimumDelay(d *core.Design) (float64, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use MinimumDelayCtx
 	return MinimumDelayCtx(context.Background(), d)
 }
 
@@ -192,6 +193,7 @@ var phaseAMargins = []float64{1.0, 0.93, 0.86, 0.80, 0.74}
 // compares against: it guarantees yield by uniform pessimism, and
 // pays for it in leakage.
 func Deterministic(d *core.Design, o Options) (*Result, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use DeterministicCtx
 	return DeterministicCtx(context.Background(), d, o)
 }
 

@@ -41,6 +41,7 @@ type DualResult struct {
 // total leakage — holds. Each accepted move re-times only the moved
 // gate's fanout cone through the engine.
 func MinimizeDelayUnderLeakBudget(d *core.Design, o Options, budgetNW float64) (*DualResult, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use MinimizeDelayUnderLeakBudgetCtx
 	return MinimizeDelayUnderLeakBudgetCtx(context.Background(), d, o, budgetNW)
 }
 

@@ -36,6 +36,7 @@ type StatResult struct {
 // back just enough moves to restore feasibility). One engine carries
 // the timing/leakage caches across the whole margin sweep.
 func Statistical(d *core.Design, o Options) (*StatResult, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use StatisticalCtx
 	return StatisticalCtx(context.Background(), d, o)
 }
 

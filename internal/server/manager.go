@@ -110,12 +110,13 @@ type Manager struct {
 // NewManager starts the worker pool and the janitor.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+	//lint:ignore ctxflow the manager owns its lifecycle root; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:        cfg,
-		log:        cfg.Log,
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		cfg:         cfg,
+		log:         cfg.Log,
+		baseCtx:     ctx,
+		baseCancel:  cancel,
 		jobs:        make(map[string]*Job),
 		queue:       make(chan *Job, cfg.QueueDepth),
 		retryStop:   make(chan struct{}),
@@ -223,6 +224,7 @@ func (m *Manager) Cancel(id string) (Status, bool) {
 // worker drains the queue until Shutdown closes it.
 func (m *Manager) worker() {
 	defer m.wg.Done()
+	//lint:ignore ctxflow close(m.queue) in Shutdown is the drain signal; per-job cancellation lives in runJob
 	for job := range m.queue {
 		metQueueDepth.Set(float64(len(m.queue)))
 		m.runJob(job)
@@ -393,7 +395,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	// Cancel the janitor (and, on deadline, every running job), then
 	// wait for full quiescence either way.
 	m.baseCancel()
+	//lint:ignore ctxflow quiescence wait is bounded: baseCancel above stops every waited goroutine
 	<-done
+	//lint:ignore ctxflow quiescence wait is bounded: the janitor exits on baseCtx.Done
 	<-m.janitorDone
 	close(m.drainDone)
 	return err
