@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint lint-sarif build test race scenario chaos bench bench-json experiments-output fuzz daemon
+.PHONY: ci lint vet statleaklint lint-sarif build test race scenario chaos cluster bench bench-json experiments-output fuzz daemon
 
-ci: lint build test race scenario chaos fuzz
+ci: lint build test race scenario chaos cluster fuzz
 
 # lint = go vet plus the repository's own analyzer suite. statleaklint
 # enforces the engine's determinism/transactionality/concurrency
@@ -52,6 +52,15 @@ scenario:
 # fast iteration loop for the job path (see DESIGN.md §8).
 chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/server
+
+# cluster runs the sharded-coordinator suite under the race detector:
+# the consistent-hash ring contracts (balance, ~1/N movement on a
+# join), the registry's death/revival edges, and the 3-replica
+# integration tests — routing, idempotent resubmission, proxied
+# cancel, and the kill-a-replica failover path asserting exactly-once
+# completion (see DESIGN.md §11).
+cluster:
+	$(GO) test -race -run 'TestCluster|TestRing|TestRegistry|TestSteal|TestStatus|TestRequest|TestCanonical|TestOutcome' ./internal/cluster
 
 # bench runs every benchmark in the repository: the root evaluation
 # harness (bench_test.go / DESIGN.md §5) plus the package-level

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/server"
+)
+
+// replicaClient is the coordinator's typed view of a statleakd
+// replica's HTTP API. Every call takes the caller's context, so proxy
+// deadlines and coordinator shutdown propagate into the sockets.
+type replicaClient struct {
+	hc *http.Client
+}
+
+// statusError is a non-2xx replica answer that carried a JSON error
+// payload: the coordinator relays code+message to its own client
+// instead of inventing a 502.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("replica answered %d: %s", e.code, e.msg)
+}
+
+// maxReplicaBody bounds what the coordinator will buffer from one
+// replica response (job lists are paginated, outcomes are small).
+const maxReplicaBody = 16 << 20
+
+// do issues one request and decodes the JSON body. A non-nil out is
+// filled on any status in okCodes; other statuses become *statusError
+// with the replica's error message. Transport failures come back as
+// plain errors — those are what mark a replica suspect.
+func (c *replicaClient) do(ctx context.Context, method, rawurl string, body, out any, okCodes ...int) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("encode request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rawurl, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicaBody))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	for _, ok := range okCodes {
+		if resp.StatusCode == ok {
+			if out == nil {
+				return resp.StatusCode, nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return resp.StatusCode, fmt.Errorf("decode replica response: %w", err)
+			}
+			return resp.StatusCode, nil
+		}
+	}
+	var em struct {
+		Error string `json:"error"`
+	}
+	// Best effort: a non-JSON error body still produces a statusError.
+	_ = json.Unmarshal(data, &em)
+	if em.Error == "" {
+		em.Error = http.StatusText(resp.StatusCode)
+	}
+	return resp.StatusCode, &statusError{code: resp.StatusCode, msg: em.Error}
+}
+
+// submit posts a job to the replica and returns its status snapshot.
+func (c *replicaClient) submit(ctx context.Context, base string, req server.Request) (server.Status, error) {
+	var st server.Status
+	_, err := c.do(ctx, http.MethodPost, base+"/v1/jobs", req, &st, http.StatusAccepted)
+	return st, err
+}
+
+// status fetches one job's status.
+func (c *replicaClient) status(ctx context.Context, base, id string) (server.Status, error) {
+	var st server.Status
+	_, err := c.do(ctx, http.MethodGet, base+"/v1/jobs/"+url.PathEscape(id), nil, &st, http.StatusOK)
+	return st, err
+}
+
+// cancel requests cancellation and returns the replica's snapshot.
+func (c *replicaClient) cancel(ctx context.Context, base, id string) (server.Status, error) {
+	var st server.Status
+	_, err := c.do(ctx, http.MethodDelete, base+"/v1/jobs/"+url.PathEscape(id), nil, &st, http.StatusAccepted)
+	return st, err
+}
+
+// result fetches a done job's outcome as raw JSON (the coordinator
+// caches and relays it verbatim — no decode/re-encode drift).
+func (c *replicaClient) result(ctx context.Context, base, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	_, err := c.do(ctx, http.MethodGet, base+"/v1/jobs/"+url.PathEscape(id)+"/result", nil, &raw, http.StatusOK)
+	return raw, err
+}
+
+// health probes /healthz and returns the replica's queue depth.
+func (c *replicaClient) health(ctx context.Context, base string) (queueDepth int, err error) {
+	var hz struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	if _, err := c.do(ctx, http.MethodGet, base+"/healthz", nil, &hz, http.StatusOK); err != nil {
+		return 0, err
+	}
+	if hz.Status != "ok" {
+		return 0, fmt.Errorf("replica unhealthy: %q", hz.Status)
+	}
+	return hz.QueueDepth, nil
+}
+
+// list fetches one page of the replica's job listing.
+func (c *replicaClient) list(ctx context.Context, base string, state server.State, limit, offset int) (server.JobList, error) {
+	q := url.Values{}
+	if state != "" {
+		q.Set("state", string(state))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if offset > 0 {
+		q.Set("offset", strconv.Itoa(offset))
+	}
+	u := base + "/v1/jobs"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	var jl server.JobList
+	_, err := c.do(ctx, http.MethodGet, u, nil, &jl, http.StatusOK)
+	return jl, err
+}

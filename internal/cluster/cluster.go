@@ -1,0 +1,302 @@
+// Package cluster turns N statleakd replicas into one logical
+// service. A coordinator owns a consistent-hash ring over the replica
+// set (ring.go), keyed on the canonical netlist+options hash of each
+// request, and fronts the same /v1/jobs API the replicas speak:
+// submissions are routed to the owning replica (with work stealing
+// away from hot shards — stealer.go), status/result/cancel are
+// proxied (router.go), and a periodic prober (prober.go) tracks
+// replica health and queue depth, re-dispatching a dead replica's
+// in-flight jobs to the next live ring owner.
+//
+// Exactly-once across failover comes from layering, not consensus:
+// every job the coordinator forwards carries an idempotency key
+// (client-supplied, or derived from the canonical request hash), and
+// the replica manager deduplicates submissions on that key — so a
+// re-dispatch of work the "dead" replica actually finished is a
+// lookup on the survivor, never a second run, and a re-dispatch of
+// work it never finished runs exactly once on the new owner. The
+// shape follows the master-fans-independent-evaluations-to-slots
+// design of PyOPUS's cooperative/MPI corner evaluation (SNIPPETS.md
+// snippet 3): the DAC-2004 statistical formulation makes every job
+// independent, so distribution needs routing and liveness, nothing
+// more.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Cluster-level instrumentation: per-replica probe failures (the
+// satellite counter the runbooks alert on), routing and steal/failover
+// throughput, and a live-replica gauge.
+var (
+	metProbeFailures = obs.Default.CounterVec("statleak_cluster_probe_failures_total",
+		"failed health probes", "replica")
+	metJobsRouted = obs.Default.CounterVec("statleak_cluster_jobs_routed_total",
+		"jobs routed to a replica (including failover re-dispatch)", "replica")
+	metSteals = obs.Default.Counter("statleak_cluster_steals_total",
+		"submissions diverted from an overloaded ring owner to the least-loaded replica")
+	metFailovers = obs.Default.Counter("statleak_cluster_failovers_total",
+		"in-flight jobs re-dispatched after their replica died")
+	metReplicasLive = obs.Default.Gauge("statleak_cluster_replicas_live",
+		"replicas currently passing health probes")
+)
+
+// Config sizes the coordinator.
+type Config struct {
+	// Replicas are the statleakd base URLs the coordinator shards
+	// over. At least one is required.
+	Replicas []string
+	// VNodes is the per-replica virtual-node count on the hash ring
+	// (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip (default min(1s,
+	// ProbeInterval)).
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures declare a
+	// replica dead (default 2).
+	FailAfter int
+	// StealThreshold is the ring owner's queue depth at which new
+	// submissions divert to the least-loaded live replica (default 4;
+	// negative disables stealing).
+	StealThreshold int
+	// ProxyTimeout bounds one proxied replica call made on behalf of a
+	// client request (default 30s).
+	ProxyTimeout time.Duration
+	// SyncPageSize is the page size the prober uses when it refreshes
+	// job states from a replica's listing (default 200).
+	SyncPageSize int
+	// Log receives coordinator lifecycle events (nil ⇒ silent).
+	Log *obs.Logger
+	// HTTPClient overrides the transport (tests inject the httptest
+	// client); nil uses a plain http.Client — per-call contexts carry
+	// the deadlines.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+		if c.ProbeTimeout > c.ProbeInterval {
+			c.ProbeTimeout = c.ProbeInterval
+		}
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.StealThreshold == 0 {
+		c.StealThreshold = 4
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 30 * time.Second
+	}
+	if c.SyncPageSize <= 0 {
+		c.SyncPageSize = 200
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// tracked is the coordinator's record of one routed job. Identity
+// fields (id, key, routeKey, req) are immutable after registration;
+// placement and the last observed status are guarded by mu — they
+// change on proxy responses, prober syncs, and failover re-dispatch.
+type tracked struct {
+	id       string         // coordinator job ID ("cjob-000001")
+	key      string         // idempotency key forwarded with every (re)submission
+	routeKey string         // canonical request hash driving ring placement
+	req      server.Request // as forwarded (IdempotencyKey always set)
+
+	mu       sync.Mutex
+	replica  string        // current owner's base URL ("" while placing)
+	remoteID string        // job ID in the owner's namespace
+	last     server.Status // last observed replica status
+	outcome  []byte        // cached raw result JSON once fetched
+	stolen   bool          // placement diverted off the ring owner
+	moves    int           // failover re-dispatches performed
+}
+
+// view renders the job's client-facing status: the replica's last
+// snapshot with the coordinator's ID and the forwarding fields
+// (replica, remote_id) filled in.
+func (t *tracked) view() server.Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.viewLocked()
+}
+
+func (t *tracked) viewLocked() server.Status {
+	st := t.last
+	st.ID = t.id
+	st.IdempotencyKey = t.key
+	st.Replica = t.replica
+	st.RemoteID = t.remoteID
+	return st
+}
+
+// Coordinator is the sharding front end over the replica set.
+type Coordinator struct {
+	cfg    Config
+	log    *obs.Logger
+	ring   *Ring
+	reg    *Registry
+	client *replicaClient
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the prober exits
+
+	mu       sync.Mutex
+	jobs     map[string]*tracked // coordinator ID → job
+	byKey    map[string]*tracked // idempotency key → job
+	byRemote map[string]*tracked // replica\x00remoteID → job (prober sync)
+	nextID   int
+}
+
+// New starts a coordinator over cfg.Replicas and launches its prober.
+// The prober stops when ctx is cancelled or Stop is called.
+func New(ctx context.Context, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	urls := make([]string, 0, len(cfg.Replicas))
+	seen := make(map[string]bool, len(cfg.Replicas))
+	for _, u := range cfg.Replicas {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" || seen[u] {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("cluster: replica %q is not an http(s) URL", u)
+		}
+		seen[u] = true
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one replica URL")
+	}
+	cfg.Replicas = urls
+
+	ctx, cancel := context.WithCancel(ctx)
+	c := &Coordinator{
+		cfg:      cfg,
+		log:      cfg.Log,
+		ring:     NewRing(cfg.VNodes, urls...),
+		reg:      NewRegistry(cfg.FailAfter, urls),
+		client:   &replicaClient{hc: cfg.HTTPClient},
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		jobs:     make(map[string]*tracked),
+		byKey:    make(map[string]*tracked),
+		byRemote: make(map[string]*tracked),
+	}
+	metReplicasLive.Set(float64(len(urls)))
+	go c.probeLoop(ctx)
+	c.log.Info("cluster coordinator up", "replicas", strings.Join(urls, ","),
+		"vnodes", cfg.VNodes, "probe_interval", cfg.ProbeInterval.String())
+	return c, nil
+}
+
+// Stop halts the prober and waits for it to exit. Tracked jobs keep
+// running on their replicas; a restarted coordinator re-adopts them
+// through idempotent resubmission.
+func (c *Coordinator) Stop() {
+	c.cancel()
+	//lint:ignore ctxflow bounded wait: cancel above is the prober's stop signal
+	<-c.done
+}
+
+// get returns the tracked job by coordinator ID.
+func (c *Coordinator) get(id string) (*tracked, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.jobs[id]
+	return t, ok
+}
+
+// register files a new tracked job under the next coordinator ID. The
+// caller must not hold c.mu. Returns the existing job instead when
+// the key was registered concurrently.
+func (c *Coordinator) register(key, routeKey string, req server.Request) (*tracked, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.byKey[key]; ok {
+		return t, false
+	}
+	c.nextID++
+	t := &tracked{
+		id:       fmt.Sprintf("cjob-%06d", c.nextID),
+		key:      key,
+		routeKey: routeKey,
+		req:      req,
+		last:     server.Status{State: server.StatePending, Created: time.Now()},
+	}
+	c.jobs[t.id] = t
+	c.byKey[key] = t
+	return t, true
+}
+
+// unregister removes a job that never reached a replica (submit
+// failed with a permanent error).
+func (c *Coordinator) unregister(t *tracked) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.jobs, t.id)
+	delete(c.byKey, t.key)
+	t.mu.Lock()
+	if t.replica != "" && t.remoteID != "" {
+		delete(c.byRemote, remoteKey(t.replica, t.remoteID))
+	}
+	t.mu.Unlock()
+}
+
+// place records a (re)placement of the job on a replica, keeping the
+// byRemote index in step. Safe for the initial placement and for
+// failover moves.
+func (c *Coordinator) place(t *tracked, replica string, st server.Status) {
+	c.mu.Lock()
+	t.mu.Lock()
+	if t.replica != "" && t.remoteID != "" {
+		delete(c.byRemote, remoteKey(t.replica, t.remoteID))
+	}
+	if t.replica != "" && t.replica != replica {
+		t.moves++
+	}
+	t.replica = replica
+	t.remoteID = st.ID
+	t.last = st
+	c.byRemote[remoteKey(replica, st.ID)] = t
+	t.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func remoteKey(replica, remoteID string) string {
+	return replica + "\x00" + remoteID
+}
+
+// snapshotJobs returns the tracked jobs, unordered. Status snapshots
+// are taken by the caller per job, outside c.mu.
+func (c *Coordinator) snapshotJobs() []*tracked {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*tracked, 0, len(c.jobs))
+	for _, t := range c.jobs {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/server"
+)
+
+// probeLoop is the coordinator's background heartbeat: every
+// ProbeInterval it probes each replica's /healthz, refreshes the
+// registry's liveness and queue-depth view, syncs job states from the
+// live replicas' paginated listings, and re-dispatches any job
+// stranded on a dead replica. It exits when ctx is cancelled (Stop or
+// the parent daemon shutting down).
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			c.probeAll(ctx)
+			c.redispatchOrphans(ctx)
+		}
+	}
+}
+
+// probeAll probes every configured replica once.
+func (c *Coordinator) probeAll(ctx context.Context) {
+	for _, url := range c.cfg.Replicas {
+		if ctx.Err() != nil {
+			return
+		}
+		c.probeOne(ctx, url)
+	}
+	metReplicasLive.Set(float64(c.reg.LiveCount()))
+}
+
+// probeOne health-checks one replica and, while it is up, piggybacks
+// a job-state sync off the probe so terminal states are observed even
+// when no client is polling — that record is what keeps failover from
+// re-running work that already finished.
+func (c *Coordinator) probeOne(ctx context.Context, url string) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	depth, err := c.client.health(pctx, url)
+	now := time.Now()
+	if err != nil {
+		metProbeFailures.With(url).Inc()
+		if c.reg.MarkProbeFailure(url, err, now) {
+			c.log.Warn("replica declared dead", "replica", url, "err", err.Error())
+		}
+		return
+	}
+	if c.reg.MarkProbeSuccess(url, depth, now) {
+		c.log.Info("replica revived", "replica", url, "queue_depth", depth)
+	}
+	c.syncReplica(ctx, url)
+}
+
+// syncReplica walks the replica's job listing page by page (the
+// state-filter/pagination surface exists precisely so this poll does
+// not fetch every netlist-sized job list each probe) and folds the
+// statuses into the tracked jobs' last-observed views.
+func (c *Coordinator) syncReplica(ctx context.Context, url string) {
+	for offset := 0; ; {
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+		jl, err := c.client.list(pctx, url, "", c.cfg.SyncPageSize, offset)
+		cancel()
+		if err != nil {
+			return // the next probe cycle retries
+		}
+		for _, st := range jl.Jobs {
+			c.observeRemote(url, st)
+		}
+		offset += len(jl.Jobs)
+		if len(jl.Jobs) == 0 || offset >= jl.Total {
+			return
+		}
+	}
+}
+
+// observeRemote folds one replica-reported status into its tracked
+// job, if the coordinator owns one under that (replica, remote ID)
+// pair and the job has not been re-placed elsewhere meanwhile.
+func (c *Coordinator) observeRemote(url string, st server.Status) {
+	c.mu.Lock()
+	t, ok := c.byRemote[remoteKey(url, st.ID)]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	if t.replica == url && t.remoteID == st.ID {
+		t.last = st
+	}
+	t.mu.Unlock()
+}
+
+// redispatchOrphans re-submits every non-terminal job whose replica
+// is dead to the next live owner in the job's ring succession. The
+// forwarded idempotency key makes the re-dispatch safe: if the
+// "dead" replica comes back having finished the job, a client poll
+// routed to the survivor still resolves one run, and replicas that
+// already saw the key dedupe instead of re-running. Jobs that cannot
+// be placed (no live replica) stay orphaned and are retried on the
+// next tick.
+func (c *Coordinator) redispatchOrphans(ctx context.Context) {
+	for _, t := range c.snapshotJobs() {
+		if ctx.Err() != nil {
+			return
+		}
+		t.mu.Lock()
+		replica := t.replica
+		terminal := t.last.State.Terminal()
+		t.mu.Unlock()
+		if replica == "" || terminal || c.reg.Alive(replica) {
+			continue
+		}
+		c.redispatch(ctx, t, replica)
+	}
+}
+
+// redispatch moves one orphaned job off dead; it walks the ring
+// succession for the job's route key and lands on the first live
+// replica that accepts it.
+func (c *Coordinator) redispatch(ctx context.Context, t *tracked, dead string) {
+	for _, url := range c.ring.Succession(t.routeKey) {
+		if url == dead || !c.reg.Alive(url) {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProxyTimeout)
+		st, err := c.client.submit(pctx, url, t.req)
+		cancel()
+		if err != nil {
+			continue // try the next live successor; next tick retries
+		}
+		c.place(t, url, st)
+		c.reg.NoteRouted(url)
+		metFailovers.Inc()
+		metJobsRouted.With(url).Inc()
+		c.log.Warn("job re-dispatched after replica death",
+			"id", t.id, "key", t.key, "from", dead, "to", url, "remote_id", st.ID)
+		return
+	}
+	c.log.Warn("orphaned job has no live replica; will retry", "id", t.id, "from", dead)
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// replica is the registry's mutable view of one statleakd instance.
+// All fields are guarded by the registry mutex.
+type replica struct {
+	url        string
+	alive      bool
+	queueDepth int       // last probed backlog, bumped on local routing
+	failures   int       // consecutive probe failures
+	lastProbe  time.Time // last probe attempt, success or not
+	lastErr    string    // last probe error, "" when healthy
+}
+
+// ReplicaInfo is the exported snapshot of one replica for the
+// /v1/cluster endpoint and statleakctl.
+type ReplicaInfo struct {
+	URL        string    `json:"url"`
+	Alive      bool      `json:"alive"`
+	QueueDepth int       `json:"queue_depth"`
+	Failures   int       `json:"probe_failures"`
+	LastProbe  time.Time `json:"last_probe,omitempty"`
+	LastError  string    `json:"last_error,omitempty"`
+}
+
+// Registry tracks liveness and load for the configured replicas. It
+// is written by the prober (probe outcomes) and the router (local
+// queue-depth estimates between probes) and read by every routing
+// decision. Replicas start alive and optimistically empty so a
+// freshly started coordinator routes immediately; the first probe
+// cycle corrects both within one interval.
+type Registry struct {
+	failAfter int
+
+	mu       sync.Mutex
+	replicas map[string]*replica
+}
+
+// NewRegistry builds a registry over the replica URLs; failAfter is
+// the consecutive-probe-failure threshold at which a replica is
+// declared dead.
+func NewRegistry(failAfter int, urls []string) *Registry {
+	r := &Registry{failAfter: failAfter, replicas: make(map[string]*replica, len(urls))}
+	for _, u := range urls {
+		r.replicas[u] = &replica{url: u, alive: true}
+	}
+	return r
+}
+
+// Alive reports whether the replica is currently considered live.
+func (r *Registry) Alive(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep, ok := r.replicas[url]
+	return ok && rep.alive
+}
+
+// QueueDepth returns the replica's last known backlog (0 if unknown).
+func (r *Registry) QueueDepth(url string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rep, ok := r.replicas[url]; ok {
+		return rep.queueDepth
+	}
+	return 0
+}
+
+// NoteRouted bumps the replica's queue-depth estimate after the
+// router placed a job there, so a burst of submissions between two
+// probe cycles spreads instead of piling onto one stale-zero replica.
+func (r *Registry) NoteRouted(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rep, ok := r.replicas[url]; ok {
+		rep.queueDepth++
+	}
+}
+
+// MarkProbeSuccess records a healthy probe and the replica's reported
+// queue depth. It returns true when this probe revived a dead
+// replica.
+func (r *Registry) MarkProbeSuccess(url string, queueDepth int, now time.Time) (revived bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep, ok := r.replicas[url]
+	if !ok {
+		return false
+	}
+	revived = !rep.alive
+	rep.alive = true
+	rep.failures = 0
+	rep.queueDepth = queueDepth
+	rep.lastProbe = now
+	rep.lastErr = ""
+	return revived
+}
+
+// MarkProbeFailure records a failed probe. It returns true when this
+// failure crossed the threshold and transitioned the replica from
+// alive to dead — the edge on which the coordinator re-dispatches the
+// replica's in-flight jobs.
+func (r *Registry) MarkProbeFailure(url string, err error, now time.Time) (died bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep, ok := r.replicas[url]
+	if !ok {
+		return false
+	}
+	rep.failures++
+	rep.lastProbe = now
+	rep.lastErr = err.Error()
+	if rep.alive && rep.failures >= r.failAfter {
+		rep.alive = false
+		return true
+	}
+	return false
+}
+
+// LiveCount returns the number of live replicas.
+func (r *Registry) LiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rep := range r.replicas {
+		if rep.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// LeastLoaded returns the live replica with the smallest known queue
+// depth (ties broken by URL for determinism), or "" when none is
+// live.
+func (r *Registry) LeastLoaded() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := ""
+	bestDepth := 0
+	for _, rep := range r.replicas {
+		if !rep.alive {
+			continue
+		}
+		if best == "" || rep.queueDepth < bestDepth ||
+			(rep.queueDepth == bestDepth && rep.url < best) {
+			best, bestDepth = rep.url, rep.queueDepth
+		}
+	}
+	return best
+}
+
+// Snapshot returns the exported view of every replica, sorted by URL.
+func (r *Registry) Snapshot() []ReplicaInfo {
+	r.mu.Lock()
+	out := make([]ReplicaInfo, 0, len(r.replicas))
+	for _, rep := range r.replicas {
+		out = append(out, ReplicaInfo{
+			URL:        rep.url,
+			Alive:      rep.alive,
+			QueueDepth: rep.queueDepth,
+			Failures:   rep.failures,
+			LastProbe:  rep.lastProbe,
+			LastError:  rep.lastErr,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].URL < out[k].URL })
+	return out
+}

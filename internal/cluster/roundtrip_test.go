@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// The coordinator moves statuses, requests, and outcomes across the
+// wire twice (client ↔ coordinator ↔ replica), so every payload must
+// survive a JSON round trip byte-for-byte in meaning — including the
+// *time.Time omitempty semantics and the scenario/corner extensions.
+
+func TestStatusRoundTripOmitsUnsetTimes(t *testing.T) {
+	pending := server.Status{
+		ID:      "job-000001",
+		State:   server.StatePending,
+		Created: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+	}
+	b, err := json.Marshal(pending)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// A pending job has no started/finished instants; the wire form
+	// must omit the keys rather than emit zero timestamps, or a
+	// coordinator's forwarded view would invent a year-1 start time.
+	for _, key := range []string{"started", "finished"} {
+		if bytes.Contains(b, []byte(`"`+key+`"`)) {
+			t.Fatalf("pending status serialized %q: %s", key, b)
+		}
+	}
+	var back server.Status
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Started != nil || back.Finished != nil {
+		t.Fatalf("round trip invented timestamps: %+v", back)
+	}
+	if !reflect.DeepEqual(pending, back) {
+		t.Fatalf("round trip changed the status:\n  in  %+v\n  out %+v", pending, back)
+	}
+}
+
+func TestStatusRoundTripFull(t *testing.T) {
+	started := time.Date(2026, 8, 7, 12, 0, 1, 0, time.UTC)
+	finished := started.Add(3 * time.Second)
+	st := server.Status{
+		ID:             "cjob-000004",
+		State:          server.StateDone,
+		Created:        started.Add(-time.Second),
+		Started:        &started,
+		Finished:       &finished,
+		Attempt:        2,
+		IdempotencyKey: "nightly-s432",
+		Replica:        "http://10.0.0.2:8080",
+		RemoteID:       "job-000017",
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back server.Status
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("round trip changed the status:\n  in  %+v\n  out %+v", st, back)
+	}
+}
+
+// TestStatusForwardingRewrite pins the coordinator's view semantics:
+// the replica's status passes through with only the identity fields
+// rewritten (coordinator ID, key, forwarding pair).
+func TestStatusForwardingRewrite(t *testing.T) {
+	started := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	replicaView := server.Status{
+		ID:      "job-000009",
+		State:   server.StateRunning,
+		Created: started.Add(-time.Minute),
+		Started: &started,
+		Attempt: 1,
+	}
+	tr := &tracked{
+		id:       "cjob-000002",
+		key:      "k-1",
+		routeKey: "deadbeef",
+		replica:  "http://r1:8080",
+		remoteID: "job-000009",
+		last:     replicaView,
+	}
+	got := tr.view()
+	if got.ID != "cjob-000002" || got.Replica != "http://r1:8080" || got.RemoteID != "job-000009" {
+		t.Fatalf("forwarding fields wrong: %+v", got)
+	}
+	if got.IdempotencyKey != "k-1" {
+		t.Fatalf("key not surfaced: %+v", got)
+	}
+	// Everything the replica reported is untouched.
+	if got.State != replicaView.State || got.Attempt != replicaView.Attempt ||
+		!reflect.DeepEqual(got.Started, replicaView.Started) || !got.Created.Equal(replicaView.Created) {
+		t.Fatalf("replica fields mangled: %+v", got)
+	}
+	// And the rewritten view still round-trips.
+	b, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back server.Status
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, back) {
+		t.Fatalf("round trip changed the view:\n  in  %+v\n  out %+v", got, back)
+	}
+}
+
+func TestRequestRoundTripWithScenario(t *testing.T) {
+	req := server.Request{
+		Circuit:   "s432",
+		Optimizer: "statistical",
+		Preset:    "100nm",
+		Scenario: &scenario.Spec{
+			Temps:       []float64{25, 110},
+			Corners:     []string{"vl", "vn"},
+			BiasDomains: 2,
+			Bias:        []float64{0.2},
+			Aggregate:   "worst",
+		},
+		MCSamples:      500,
+		Seed:           7,
+		IdempotencyKey: "scenario-run",
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back server.Request
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields() // what the replica's handler enforces
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("decode under DisallowUnknownFields: %v", err)
+	}
+	if !reflect.DeepEqual(req, back) {
+		t.Fatalf("round trip changed the request:\n  in  %+v\n  out %+v", req, back)
+	}
+}
+
+func TestCanonicalKeyIgnoresDeliveryFields(t *testing.T) {
+	base := server.Request{Circuit: "s432", Optimizer: "statistical"}
+	keyed := base
+	keyed.IdempotencyKey = "client-key-a"
+	if base.CanonicalKey() != keyed.CanonicalKey() {
+		t.Fatal("idempotency key changed the canonical hash; routing would scatter resubmissions")
+	}
+	other := base
+	other.Name = "renamed"
+	if base.CanonicalKey() == other.CanonicalKey() {
+		t.Fatal("distinct requests share a canonical hash")
+	}
+	scen := base
+	scen.Scenario = &scenario.Spec{Temps: []float64{110}}
+	if base.CanonicalKey() == scen.CanonicalKey() {
+		t.Fatal("scenario spec ignored by the canonical hash")
+	}
+}
+
+func TestOutcomeRoundTripWithCorners(t *testing.T) {
+	out := server.Outcome{
+		Optimizer:   "statistical",
+		Circuit:     "s432",
+		Gates:       160,
+		TmaxPs:      900,
+		Feasible:    true,
+		Moves:       42,
+		YieldAtTmax: 0.993,
+		LeakMeanNW:  1234.5,
+		Corners: []engine.CornerMetrics{
+			{Name: "vl/25C", YieldAtTmax: 0.999, LeakPctNW: 900.25, DelayMeanPs: 850},
+			{Name: "vh/110C", YieldAtTmax: 0.991, LeakPctNW: 2100.5, DelayMeanPs: 910},
+		},
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back server.Outcome
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(out, back) {
+		t.Fatalf("round trip changed the outcome:\n  in  %+v\n  out %+v", out, back)
+	}
+}

@@ -1,0 +1,53 @@
+package cluster
+
+// Work stealing for hot shards. Consistent hashing balances the
+// keyspace, not the load: one popular circuit (or one replica on slow
+// hardware) can pile a deep backlog onto its ring owner while the
+// rest of the cluster idles. The stealer is the routing-time escape
+// valve — when the owner's known queue depth crosses StealThreshold
+// and somebody else is strictly less loaded, a NEW submission is
+// diverted to the least-loaded live replica instead. Only placement
+// of new work moves; running jobs are never migrated, and failover
+// re-dispatch (prober.go) deliberately uses plain ring succession so
+// a key's recovery target stays deterministic.
+//
+// Queue depths come from the prober's /healthz sweeps, bumped locally
+// by Registry.NoteRouted between sweeps so a burst within one probe
+// interval spreads instead of dogpiling a stale-zero estimate.
+
+// route picks the replica for a new submission with the given route
+// key: the first live member of the key's ring succession, unless
+// stealing diverts it. Returns "" when no replica is live.
+func (c *Coordinator) route(routeKey string) (url string, stolen bool) {
+	owner := ""
+	for _, m := range c.ring.Succession(routeKey) {
+		if c.reg.Alive(m) {
+			owner = m
+			break
+		}
+	}
+	if owner == "" {
+		return "", false
+	}
+	if steal := c.stealTarget(owner); steal != "" {
+		return steal, true
+	}
+	return owner, false
+}
+
+// stealTarget decides whether a submission bound for owner should be
+// diverted, and to whom. It returns "" to keep ring placement.
+func (c *Coordinator) stealTarget(owner string) string {
+	if c.cfg.StealThreshold < 0 {
+		return "" // stealing disabled
+	}
+	depth := c.reg.QueueDepth(owner)
+	if depth < c.cfg.StealThreshold {
+		return ""
+	}
+	least := c.reg.LeastLoaded()
+	if least == "" || least == owner || c.reg.QueueDepth(least) >= depth {
+		return ""
+	}
+	return least
+}

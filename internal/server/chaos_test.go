@@ -72,7 +72,7 @@ func TestChaosPanicIsolation(t *testing.T) {
 	before := obs.Default.Values()["statleak_jobs_panicked_total"]
 
 	st := submitJob(t, ts, Request{Netlist: bench.C17, Name: "boom", Optimizer: "deterministic"})
-	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateFailed {
 		t.Fatalf("panicked job ended %q, want failed", final.State)
 	}
@@ -92,7 +92,7 @@ func TestChaosPanicIsolation(t *testing.T) {
 		t.Errorf("healthz after panic: %d %s", code, body)
 	}
 	st2 := submitJob(t, ts, Request{Netlist: bench.C17, Name: "ok", Optimizer: "deterministic"})
-	if f2 := pollUntil(t, ts, st2.ID, time.Minute, func(s Status) bool { return s.State.terminal() }); f2.State != StateDone {
+	if f2 := pollUntil(t, ts, st2.ID, time.Minute, func(s Status) bool { return s.State.Terminal() }); f2.State != StateDone {
 		t.Fatalf("job after panic ended %q (err %q), want done", f2.State, f2.Error)
 	}
 }
@@ -106,7 +106,7 @@ func TestChaosDeadlineKillsHungJob(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, FailPoints: fp})
 
 	st := submitJob(t, ts, Request{Netlist: bench.C17, Name: "hang", Optimizer: "deterministic", TimeoutSec: 0.3})
-	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateFailed || final.Error != "deadline exceeded" {
 		t.Fatalf("hung job ended %q (err %q), want failed/deadline exceeded", final.State, final.Error)
 	}
@@ -119,7 +119,7 @@ func TestChaosDeadlineKillsHungJob(t *testing.T) {
 	}
 
 	st2 := submitJob(t, ts, Request{Netlist: bench.C17, Name: "ok", Optimizer: "deterministic"})
-	if f2 := pollUntil(t, ts, st2.ID, time.Minute, func(s Status) bool { return s.State.terminal() }); f2.State != StateDone {
+	if f2 := pollUntil(t, ts, st2.ID, time.Minute, func(s Status) bool { return s.State.Terminal() }); f2.State != StateDone {
 		t.Fatalf("job after hang ended %q (err %q), want done", f2.State, f2.Error)
 	}
 }
@@ -139,7 +139,7 @@ func TestChaosServerTimeoutCap(t *testing.T) {
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
-	final := waitJob(t, job, 10*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := waitJob(t, job, 10*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateFailed || final.Error != "deadline exceeded" {
 		t.Fatalf("capped job ended %q (err %q), want failed/deadline exceeded", final.State, final.Error)
 	}
@@ -177,7 +177,7 @@ func TestChaosRetryBackoff(t *testing.T) {
 	before := obs.Default.Values()["statleak_job_retries_total"]
 
 	st := submitJob(t, ts, Request{Netlist: bench.C17, Name: "flaky", Optimizer: "deterministic", MaxRetries: 3})
-	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateDone {
 		t.Fatalf("flaky job ended %q (err %q), want done", final.State, final.Error)
 	}
@@ -240,7 +240,7 @@ func TestChaosPermanentErrorsNotRetried(t *testing.T) {
 		t.Fatalf("submit: %v", err)
 	}
 	for _, job := range []*Job{injected, parseFail} {
-		final := waitJob(t, job, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+		final := waitJob(t, job, 30*time.Second, func(s Status) bool { return s.State.Terminal() })
 		if final.State != StateFailed {
 			t.Errorf("job %s ended %q (err %q), want failed", job.ID, final.State, final.Error)
 		}
@@ -273,7 +273,7 @@ func TestChaosRetriesExhausted(t *testing.T) {
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
-	final := waitJob(t, job, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := waitJob(t, job, 30*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateFailed || !strings.Contains(final.Error, "flaky backend") {
 		t.Fatalf("exhausted job: state %q err %q, want failed with the last error", final.State, final.Error)
 	}
@@ -305,7 +305,7 @@ func TestChaosCancelDuringRetryWait(t *testing.T) {
 	}
 	// The cancellation sticks: no later attempt revives the job.
 	time.Sleep(300 * time.Millisecond)
-	final := pollUntil(t, ts, st.ID, 5*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := pollUntil(t, ts, st.ID, 5*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateCancelled || final.Attempt != 1 {
 		t.Fatalf("after cancel: state %q attempt %d, want cancelled/1", final.State, final.Attempt)
 	}
@@ -433,7 +433,7 @@ func TestChaosDoubleShutdown(t *testing.T) {
 	}
 	// The second caller must not return before the manager is
 	// quiescent: the hung job has been force-cancelled by then.
-	if st := job.status(); !st.State.terminal() {
+	if st := job.status(); !st.State.Terminal() {
 		t.Fatalf("second Shutdown returned before quiescence: job still %q", st.State)
 	}
 	if err := <-firstErr; err == nil {
@@ -464,7 +464,7 @@ func TestChaosScenarioCancelMidRound(t *testing.T) {
 	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil); code != http.StatusAccepted {
 		t.Fatalf("cancel: got %d, want 202", code)
 	}
-	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateCancelled {
 		t.Fatalf("4-corner job ended %q (err %q), want cancelled", final.State, final.Error)
 	}
@@ -477,7 +477,7 @@ func TestChaosScenarioCancelMidRound(t *testing.T) {
 
 	// The worker that drained the cancelled Family must be reusable.
 	next := submitJob(t, ts, Request{Circuit: "s432", Optimizer: "statistical", Scenario: four, MaxMoves: 16})
-	done := pollUntil(t, ts, next.ID, 2*time.Minute, func(s Status) bool { return s.State.terminal() })
+	done := pollUntil(t, ts, next.ID, 2*time.Minute, func(s Status) bool { return s.State.Terminal() })
 	if done.State != StateDone {
 		t.Fatalf("follow-up scenario job ended %q (err %q), want done", done.State, done.Error)
 	}

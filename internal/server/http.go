@@ -3,8 +3,10 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"repro/internal/obs"
 )
@@ -13,10 +15,56 @@ import (
 // covers circuits far beyond the paper's benchmarks).
 const maxBodyBytes = 16 << 20
 
+// JobList is the GET /v1/jobs response envelope: one page of statuses
+// plus the pagination frame and the live queue depth, so pollers (the
+// cluster coordinator's prober, statleakctl) learn backlog pressure
+// without a second request and never need the full job list.
+type JobList struct {
+	Jobs       []Status `json:"jobs"`
+	Total      int      `json:"total"`
+	Offset     int      `json:"offset"`
+	Limit      int      `json:"limit,omitempty"`
+	QueueDepth int      `json:"queue_depth"`
+}
+
+// ParseListFilter reads the state=/limit=/offset= query parameters
+// of a job-listing request (shared with the cluster coordinator,
+// which speaks the same listing surface).
+func ParseListFilter(r *http.Request) (ListFilter, error) {
+	var f ListFilter
+	q := r.URL.Query()
+	if s := q.Get("state"); s != "" {
+		switch st := State(s); st {
+		case StatePending, StateRunning, StateDone, StateFailed, StateCancelled:
+			f.State = st
+		default:
+			return f, fmt.Errorf("unknown state %q", s)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"limit", &f.Limit}, {"offset", &f.Offset}} {
+		s := q.Get(p.name)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("bad %s %q: want a non-negative integer", p.name, s)
+		}
+		*p.dst = n
+	}
+	return f, nil
+}
+
 // Handler returns the daemon's HTTP API over the manager:
 //
 //	POST   /v1/jobs             submit a job            → 202 Status
-//	GET    /v1/jobs             list live jobs          → 200 []Status
+//	                            (idempotency_key resubmissions return
+//	                            the existing job's status)
+//	GET    /v1/jobs             list live jobs          → 200 JobList
+//	                            (?state= ?limit= ?offset= paginate)
 //	GET    /v1/jobs/{id}        status + live progress  → 200 Status
 //	DELETE /v1/jobs/{id}        cancel                  → 202 Status
 //	GET    /v1/jobs/{id}/result fetch a done job        → 200 Outcome
@@ -48,12 +96,21 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		jobs := m.Jobs()
-		out := make([]Status, 0, len(jobs))
-		for _, j := range jobs {
-			out = append(out, j.status())
+		f, err := ParseListFilter(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
 		}
-		writeJSON(w, http.StatusOK, out)
+		// List snapshots every status before returning, so the JSON
+		// encoder below never runs while the manager mutex is held.
+		page, total, queued := m.List(f)
+		writeJSON(w, http.StatusOK, JobList{
+			Jobs:       page,
+			Total:      total,
+			Offset:     f.Offset,
+			Limit:      f.Limit,
+			QueueDepth: queued,
+		})
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -100,7 +157,7 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		metQueueDepth.Set(float64(len(m.queue)))
+		setQueueDepth(len(m.queue))
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := obs.Default.WritePrometheus(w); err != nil {
 			m.log.Warn("metrics write failed", "err", err.Error())
@@ -116,10 +173,11 @@ func Handler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"jobs":    live,
-			"queued":  len(m.queue),
-			"workers": m.cfg.Workers,
+			"status":      "ok",
+			"jobs":        live,
+			"queued":      len(m.queue),
+			"queue_depth": len(m.queue),
+			"workers":     m.cfg.Workers,
 		})
 	})
 

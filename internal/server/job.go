@@ -8,6 +8,9 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -36,8 +39,8 @@ const (
 	StateCancelled State = "cancelled"
 )
 
-// terminal reports whether no further transitions can happen.
-func (s State) terminal() bool {
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
@@ -105,7 +108,20 @@ type Request struct {
 	// exponential backoff, at most MaxRetries extra attempts (capped
 	// at MaxRetriesCap). Validation errors are never retried.
 	MaxRetries int `json:"max_retries,omitempty"`
+
+	// IdempotencyKey deduplicates resubmissions: a Submit carrying a
+	// key the manager already knows returns the existing job (whatever
+	// its state) instead of enqueuing a duplicate run. The mapping
+	// lives exactly as long as the job itself — once the janitor
+	// evicts the job, the key is free again. Cluster coordinators rely
+	// on this to make failover re-dispatch exactly-once: re-submitting
+	// a key to a replica that already ran it is a lookup, not a run.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
+
+// maxIdempotencyKeyLen bounds client-supplied keys so the dedup map
+// cannot be grown with megabyte keys.
+const maxIdempotencyKeyLen = 256
 
 // MaxRetriesCap bounds Request.MaxRetries: beyond a handful of
 // re-runs a failure is not transient, it is the workload.
@@ -147,6 +163,9 @@ func (r *Request) Validate() error {
 	if r.MaxRetries < 0 || r.MaxRetries > MaxRetriesCap {
 		return fmt.Errorf("max_retries %d out of range [0, %d]", r.MaxRetries, MaxRetriesCap)
 	}
+	if len(r.IdempotencyKey) > maxIdempotencyKeyLen {
+		return fmt.Errorf("idempotency_key longer than %d bytes", maxIdempotencyKeyLen)
+	}
 	if !r.Scenario.IsZero() {
 		if err := r.Scenario.Validate(); err != nil {
 			return err
@@ -156,6 +175,26 @@ func (r *Request) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// CanonicalKey is the canonical netlist+options hash of the request:
+// a hex digest over the JSON form with the delivery-only fields
+// (idempotency key) cleared, so two users submitting the same circuit
+// with the same knobs produce the same key. Cluster coordinators use
+// it as the consistent-hash routing key — identical submissions
+// co-locate on one replica — and as the derived idempotency key when
+// the client supplied none.
+func (r *Request) CanonicalKey() string {
+	c := *r
+	c.IdempotencyKey = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// A Request is plain data (strings, numbers, a validated
+		// scenario spec); Marshal cannot fail on it.
+		panic("server: canonical key marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
 }
 
 func (r *Request) preset() string {
@@ -294,6 +333,16 @@ type Status struct {
 	Attempt  int      `json:"attempt,omitempty"`
 	Progress Snapshot `json:"progress"`
 	Error    string   `json:"error,omitempty"`
+	// IdempotencyKey echoes the request's dedup key so resubmitters
+	// and coordinators can correlate a status with their key space.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+
+	// Replica and RemoteID are the coordinator-forwarding fields: a
+	// replica never sets them, a cluster coordinator proxying this
+	// status fills in which replica owns the job and the job's ID in
+	// that replica's namespace (Status.ID is then the coordinator's).
+	Replica  string `json:"replica,omitempty"`
+	RemoteID string `json:"remote_id,omitempty"`
 }
 
 // status snapshots the job under its lock.
@@ -306,12 +355,13 @@ func (j *Job) status() Status {
 // statusLocked builds the status snapshot; j.mu must be held.
 func (j *Job) statusLocked() Status {
 	st := Status{
-		ID:       j.ID,
-		State:    j.state,
-		Created:  j.Created,
-		Attempt:  j.attempt,
-		Progress: j.snapshot,
-		Error:    j.errMsg,
+		ID:             j.ID,
+		State:          j.state,
+		Created:        j.Created,
+		Attempt:        j.attempt,
+		Progress:       j.snapshot,
+		Error:          j.errMsg,
+		IdempotencyKey: j.Req.IdempotencyKey,
 	}
 	if !j.started.IsZero() {
 		t := j.started

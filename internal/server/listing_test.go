@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// stubExecute completes every job instantly with a canned outcome, so
+// listing tests control job states without running optimizations.
+func stubExecute(ctx context.Context, job *Job) (*Outcome, error, bool) {
+	return &Outcome{Optimizer: "stub", Circuit: job.Req.Name, Feasible: true}, nil, true
+}
+
+func TestJobListEnvelopeAndFilters(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 16,
+		FailPoints: &FailPoints{Execute: stubExecute},
+	})
+
+	ids := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		st := submitJob(t, ts, Request{Circuit: "s432", Name: fmt.Sprintf("ls-%d", i)})
+		ids[st.ID] = true
+	}
+	for id := range ids {
+		pollUntil(t, ts, id, 5*time.Second, func(s Status) bool { return s.State == StateDone })
+	}
+
+	var jl JobList
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=done&limit=2&offset=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: got %d, body %s", code, body)
+	}
+	if err := json.Unmarshal(body, &jl); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	if jl.Total != 5 || len(jl.Jobs) != 2 || jl.Offset != 1 || jl.Limit != 2 {
+		t.Fatalf("envelope = total %d, page %d, offset %d, limit %d; want 5/2/1/2",
+			jl.Total, len(jl.Jobs), jl.Offset, jl.Limit)
+	}
+	for _, st := range jl.Jobs {
+		if !ids[st.ID] || st.State != StateDone {
+			t.Fatalf("listed job %+v is not one of this test's done jobs", st)
+		}
+	}
+
+	// No running jobs remain; the filter must come back empty but the
+	// envelope intact (queue depth is a field, not an error).
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=running", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list running: got %d", code)
+	}
+	if err := json.Unmarshal(body, &jl); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	if jl.Total != 0 || len(jl.Jobs) != 0 {
+		t.Fatalf("running filter matched %d jobs: %s", jl.Total, body)
+	}
+
+	// Offsets past the end clamp to an empty page, not an error.
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?offset=99", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list offset=99: got %d", code)
+	}
+	if err := json.Unmarshal(body, &jl); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	if jl.Total != 5 || len(jl.Jobs) != 0 {
+		t.Fatalf("past-the-end page = total %d, page %d", jl.Total, len(jl.Jobs))
+	}
+
+	for _, q := range []string{"state=bogus", "limit=-1", "offset=x"} {
+		if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?"+q, nil); code != http.StatusBadRequest {
+			t.Fatalf("?%s: got %d, want 400", q, code)
+		}
+	}
+}
+
+func TestSubmitIdempotencyKeyDedup(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 16,
+		FailPoints: &FailPoints{Execute: stubExecute},
+	})
+
+	req := Request{Circuit: "s432", Name: "idem", IdempotencyKey: "key-1"}
+	first := submitJob(t, ts, req)
+	pollUntil(t, ts, first.ID, 5*time.Second, func(s Status) bool { return s.State == StateDone })
+
+	// Resubmission with the same key returns the SAME job — even after
+	// it finished — rather than enqueuing a second run.
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: got %d, body %s", code, body)
+	}
+	var again Status
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatalf("resubmit decode: %v", err)
+	}
+	if again.ID != first.ID {
+		t.Fatalf("resubmit created %s, want existing %s", again.ID, first.ID)
+	}
+	if again.State != StateDone {
+		t.Fatalf("resubmit state = %s, want the finished job's done", again.State)
+	}
+	if again.IdempotencyKey != "key-1" {
+		t.Fatalf("status does not echo the key: %+v", again)
+	}
+
+	// A different key is a different job.
+	other := submitJob(t, ts, Request{Circuit: "s432", Name: "idem", IdempotencyKey: "key-2"})
+	if other.ID == first.ID {
+		t.Fatalf("distinct key deduped onto %s", first.ID)
+	}
+
+	// Oversized keys are rejected at validation.
+	long := make([]byte, maxIdempotencyKeyLen+1)
+	for i := range long {
+		long[i] = 'k'
+	}
+	code, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", Request{Circuit: "s432", IdempotencyKey: string(long)})
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized key: got %d, want 400", code)
+	}
+}

@@ -22,6 +22,12 @@ var (
 		"jobs reaching a terminal state", "state")
 	metQueueDepth = obs.Default.Gauge("statleak_job_queue_depth",
 		"jobs waiting for a worker")
+	// metQueueDepthShort mirrors metQueueDepth under the shorter name
+	// the cluster dashboards key on; both are refreshed together via
+	// setQueueDepth so either name can drive alerts and the stealer's
+	// operator view.
+	metQueueDepthShort = obs.Default.Gauge("statleak_queue_depth",
+		"jobs waiting for a worker (alias of statleak_job_queue_depth)")
 	metJobsRunning = obs.Default.Gauge("statleak_jobs_running",
 		"jobs currently executing")
 	metJobSeconds = obs.Default.Histogram("statleak_job_run_seconds",
@@ -31,6 +37,12 @@ var (
 	metJobRetries = obs.Default.Counter("statleak_job_retries_total",
 		"failed attempts re-enqueued with backoff")
 )
+
+// setQueueDepth refreshes both exported queue-depth gauges.
+func setQueueDepth(n int) {
+	metQueueDepth.Set(float64(n))
+	metQueueDepthShort.Set(float64(n))
+}
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
 // capacity; the HTTP layer maps it to 503.
@@ -96,6 +108,7 @@ type Manager struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
+	idem   map[string]string // idempotency key → job ID, lifetime = the job's
 	nextID int
 	closed bool
 
@@ -118,6 +131,7 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		jobs:        make(map[string]*Job),
+		idem:        make(map[string]string),
 		queue:       make(chan *Job, cfg.QueueDepth),
 		retryStop:   make(chan struct{}),
 		drainDone:   make(chan struct{}),
@@ -132,6 +146,9 @@ func NewManager(cfg Config) *Manager {
 }
 
 // Submit validates and enqueues a job, returning it in StatePending.
+// A request carrying an IdempotencyKey the manager already knows is a
+// resubmission: the existing job is returned in whatever state it has
+// reached, and nothing is enqueued.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -140,6 +157,14 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
+	}
+	if req.IdempotencyKey != "" {
+		if id, ok := m.idem[req.IdempotencyKey]; ok {
+			job := m.jobs[id]
+			m.mu.Unlock()
+			m.log.Info("job resubmission deduplicated", "id", id, "key", req.IdempotencyKey)
+			return job, nil
+		}
 	}
 	m.nextID++
 	job := &Job{
@@ -155,9 +180,12 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return nil, ErrQueueFull
 	}
 	m.jobs[job.ID] = job
+	if req.IdempotencyKey != "" {
+		m.idem[req.IdempotencyKey] = job.ID
+	}
 	m.mu.Unlock()
 	metJobsSubmitted.Inc()
-	metQueueDepth.Set(float64(len(m.queue)))
+	setQueueDepth(len(m.queue))
 	m.log.Info("job submitted", "id", job.ID, "optimizer", req.optimizer(), "circuit", req.Circuit)
 	return job, nil
 }
@@ -180,6 +208,48 @@ func (m *Manager) Jobs() []*Job {
 	m.mu.Unlock()
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
+}
+
+// ListFilter selects a page of the job listing. The zero value means
+// "everything": no state filter, offset 0, no page limit.
+type ListFilter struct {
+	// State keeps only jobs currently in that lifecycle state.
+	State State
+	// Offset skips that many matching jobs (oldest first).
+	Offset int
+	// Limit caps the page size; 0 means unlimited.
+	Limit int
+}
+
+// List returns one page of job statuses (oldest first), the total
+// number of jobs matching the filter before pagination, and the
+// current queue depth. The manager mutex is held only for the map
+// scan in Jobs; every status snapshot is taken per job afterwards, so
+// neither status building nor the caller's JSON encoding ever runs
+// under it.
+func (m *Manager) List(f ListFilter) (page []Status, total, queued int) {
+	jobs := m.Jobs()
+	all := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.status()
+		if f.State != "" && st.State != f.State {
+			continue
+		}
+		all = append(all, st)
+	}
+	total = len(all)
+	lo := f.Offset
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > total {
+		lo = total
+	}
+	hi := total
+	if f.Limit > 0 && lo+f.Limit < hi {
+		hi = lo + f.Limit
+	}
+	return all[lo:hi], total, len(m.queue)
 }
 
 // Cancel requests cancellation. A pending job — queued or waiting out
@@ -226,7 +296,7 @@ func (m *Manager) worker() {
 	defer m.wg.Done()
 	//lint:ignore ctxflow close(m.queue) in Shutdown is the drain signal; per-job cancellation lives in runJob
 	for job := range m.queue {
-		metQueueDepth.Set(float64(len(m.queue)))
+		setQueueDepth(len(m.queue))
 		m.runJob(job)
 	}
 }
@@ -342,10 +412,15 @@ func (m *Manager) janitor() {
 			m.mu.Lock()
 			for id, j := range m.jobs {
 				j.mu.Lock()
-				dead := j.state.terminal() && !j.expires.IsZero() && now.After(j.expires)
+				dead := j.state.Terminal() && !j.expires.IsZero() && now.After(j.expires)
 				j.mu.Unlock()
 				if dead {
 					delete(m.jobs, id)
+					// Evicting the job frees its idempotency key: a
+					// later submit with the same key starts a new run.
+					if k := j.Req.IdempotencyKey; k != "" && m.idem[k] == id {
+						delete(m.idem, k)
+					}
 				}
 			}
 			m.mu.Unlock()

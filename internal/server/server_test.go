@@ -134,7 +134,7 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatalf("premature result fetch: got %d, want 409", code)
 	}
 
-	final := pollUntil(t, ts, st.ID, 2*time.Minute, func(s Status) bool { return s.State.terminal() })
+	final := pollUntil(t, ts, st.ID, 2*time.Minute, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateDone {
 		t.Fatalf("job ended %q (err %q), want done", final.State, final.Error)
 	}
@@ -190,7 +190,7 @@ func TestCancelRunningJob(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("cancel: got %d, want 202", code)
 	}
-	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.terminal() })
+	final := pollUntil(t, ts, st.ID, 30*time.Second, func(s Status) bool { return s.State.Terminal() })
 	if final.State != StateCancelled {
 		t.Fatalf("job ended %q, want cancelled", final.State)
 	}
@@ -238,7 +238,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 
 	st := submitJob(t, ts, Request{Circuit: "s432", Optimizer: "statistical", MCSamples: 200})
-	if final := pollUntil(t, ts, st.ID, 2*time.Minute, func(s Status) bool { return s.State.terminal() }); final.State != StateDone {
+	if final := pollUntil(t, ts, st.ID, 2*time.Minute, func(s Status) bool { return s.State.Terminal() }); final.State != StateDone {
 		t.Fatalf("job ended %q (err %q)", final.State, final.Error)
 	}
 
