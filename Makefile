@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint lint-sarif build test race scenario chaos cluster bench bench-json experiments-output fuzz daemon
+.PHONY: ci lint vet statleaklint lint-sarif build test race scenario chaos cluster speculate bench bench-json experiments-output fuzz daemon
 
-ci: lint build test race scenario chaos cluster fuzz
+ci: lint build test race scenario chaos cluster speculate fuzz
 
 # lint = go vet plus the repository's own analyzer suite. statleaklint
 # enforces the engine's determinism/transactionality/concurrency
@@ -62,6 +62,14 @@ chaos:
 cluster:
 	$(GO) test -race -run 'TestCluster|TestRing|TestRegistry|TestSteal|TestStatus|TestRequest|TestCanonical|TestOutcome' ./internal/cluster
 
+# speculate runs the speculative-pipeline equivalence suite under the
+# race detector: the golden scoreboard with speculation forced on and
+# forced off (bit-for-bit against the same pinned file), the
+# fork/replay bitwise property, and the pipelined driver's edge cases
+# (mispredict, peel-to-empty, cancellation joins). See DESIGN.md §12.
+speculate:
+	$(GO) test -race -run 'TestSpeculative|TestSerialConfig|TestPipelined|TestFork|TestObserve' ./internal/opt ./internal/search ./internal/engine
+
 # bench runs every benchmark in the repository: the root evaluation
 # harness (bench_test.go / DESIGN.md §5) plus the package-level
 # micro-benchmarks (engine round scoring and worker resync, …).
@@ -72,9 +80,11 @@ bench:
 
 # bench-json runs the same sweep and renders the `go test -bench`
 # output as machine-readable JSON (cmd/benchjson), the artifact CI
-# uploads for regression tracking.
+# uploads for regression tracking. BENCH_OUT names the trajectory file
+# for the current PR (BENCH_OUT=foo.json bench-json to redirect).
+BENCH_OUT ?= BENCH_9.json
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_6.json
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # experiments-output regenerates the committed sample of the
 # experiment driver's output (reduced configuration, deterministic).

@@ -16,3 +16,15 @@ func todo() error {
 func work(ctx context.Context) error {
 	return ctx.Err()
 }
+
+// A speculative scan detached onto its own root context never sees
+// the driver's cancellation — the join blocks until the scan finishes
+// on its own.
+func detachedPrefetch(scan func(context.Context) (int, error)) chan error {
+	done := make(chan error, 1)
+	go func() {
+		_, err := scan(context.Background()) // want `context\.Background\(\) in library code detaches from the caller's deadline`
+		done <- err
+	}()
+	return done
+}

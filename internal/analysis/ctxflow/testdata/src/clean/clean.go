@@ -21,3 +21,15 @@ func work(ctx context.Context) error {
 		return nil
 	}
 }
+
+// Speculative-prefetch shape (search.runPipelined): the scan goroutine
+// receives the driver's own ctx, so cancelling the search reaches the
+// in-flight speculative scan and the join cannot deadlock on it.
+func prefetch(ctx context.Context, scan func(context.Context) (int, error)) chan error {
+	done := make(chan error, 1)
+	go func() {
+		_, err := scan(ctx)
+		done <- err
+	}()
+	return done
+}

@@ -49,3 +49,19 @@ func spawnWaiter(p *poller) {
 		p.poll()
 	}()
 }
+
+// The broken speculative-scan shape: a prefetch goroutine that retries
+// a failed scan forever instead of reporting the error through its
+// done channel and finishing — the driver's join would block on a
+// goroutine with no reachable stop signal.
+func spawnRetryingScan(p *poller, scan func() error) {
+	done := make(chan struct{})
+	go func() { // want `goroutine has no reachable stop signal`
+		for {
+			if scan() == nil {
+				p.poll()
+			}
+		}
+	}()
+	_ = done
+}

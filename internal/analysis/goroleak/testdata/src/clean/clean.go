@@ -57,6 +57,36 @@ func oneShot(log func(string)) {
 	go log("started")
 }
 
+// Speculative-scan shape (search.runPipelined): the goroutine owns
+// its fork until the defer-closed done channel releases it, the body
+// is a finite replay loop with early-return on error, and the driver
+// always joins on done — the goroutine stops by finishing.
+type specTask struct {
+	done    chan struct{}
+	payload int
+	err     error
+}
+
+func launchSpeculative(ops []int, replay func(int) error, scan func() (int, error)) *specTask {
+	t := &specTask{done: make(chan struct{})}
+	go func() {
+		defer close(t.done)
+		for _, op := range ops {
+			if err := replay(op); err != nil {
+				t.err = err
+				return
+			}
+		}
+		t.payload, t.err = scan()
+	}()
+	return t
+}
+
+func joinSpeculative(t *specTask) (int, error) {
+	<-t.done
+	return t.payload, t.err
+}
+
 // drain has a stop signal (channel range) reachable from the named go
 // target through the call graph.
 func drain(queue chan *job) {

@@ -202,6 +202,28 @@ func (d *Design) GateDelayDerivs(id int) (dPerNm, dPerV float64) {
 	return d.Lib.DelayDerivs(g.Type, d.Vth[id], d.Size[id], d.Load(id))
 }
 
+// GateDelayAndDerivs returns GateDelay and GateDelayDerivs together,
+// computing the fanout load once. The SSTA hot loop needs all three
+// per visited node; the load sum is the same value either way, so the
+// results are bitwise those of the two separate calls.
+func (d *Design) GateDelayAndDerivs(id int) (delayPs, dPerNm, dPerV float64) {
+	return d.GateDelayAndDerivsAt(id, d.Load(id))
+}
+
+// GateDelayAndDerivsAt is GateDelayAndDerivs evaluated at a
+// caller-supplied load, for callers that cache the (pure) load sum.
+func (d *Design) GateDelayAndDerivsAt(id int, load float64) (delayPs, dPerNm, dPerV float64) {
+	g := d.Circuit.Gate(id)
+	if d.BiasVth != nil {
+		delayPs = d.Lib.DelayWith(g.Type, d.Vth[id], d.Size[id], load, 0, d.BiasVth[id])
+		dPerNm, dPerV = d.Lib.DelayDerivsWith(g.Type, d.Vth[id], d.Size[id], load, d.BiasVth[id])
+		return
+	}
+	delayPs = d.Lib.Delay(g.Type, d.Vth[id], d.Size[id], load)
+	dPerNm, dPerV = d.Lib.DelayDerivs(g.Type, d.Vth[id], d.Size[id], load)
+	return
+}
+
 // GateLeak returns the nominal leakage power [nW] of node id.
 func (d *Design) GateLeak(id int) float64 {
 	g := d.Circuit.Gate(id)

@@ -90,7 +90,11 @@ func (c *scoreCtx) score(m Move) (Score, error) {
 
 // Score evaluates one move exactly — cone-local re-timing plus an
 // O(k²) leakage update — without changing the engine's observable
-// state.
+// state. The caches are journaled for the call's duration and
+// restored bitwise: scoring is net-zero not just within tolerance but
+// bit for bit, which is what lets the speculative round pipeline
+// treat a scored-but-unapplied engine as identical to an untouched
+// one (see Fork).
 func (e *Engine) Score(m Move) (Score, error) {
 	if err := e.ensureAcc(); err != nil {
 		return Score{}, err
@@ -98,6 +102,12 @@ func (e *Engine) Score(m Move) (Score, error) {
 	if err := e.ensureTiming(); err != nil {
 		return Score{}, err
 	}
+	e.acc.StartJournal()
+	e.inc.StartJournal()
+	defer func() {
+		e.acc.RestoreJournal()
+		e.inc.RestoreJournal()
+	}()
 	return e.newScoreCtx(e.d, e.acc, e.inc).score(m)
 }
 
@@ -105,11 +115,14 @@ func (e *Engine) Score(m Move) (Score, error) {
 // delta but the first-order timing surrogate (own-delay change only),
 // skipping cone re-timing. This is the cheap prefilter the batch
 // optimizers rank candidates with; the authoritative yield check stays
-// with Apply + Yield.
+// with Apply + Yield. Like Score, the accumulator is journaled and
+// restored bitwise.
 func (e *Engine) ScoreLocal(m Move) (Score, error) {
 	if err := e.ensureAcc(); err != nil {
 		return Score{}, err
 	}
+	e.acc.StartJournal()
+	defer e.acc.RestoreJournal()
 	return e.newScoreCtx(e.d, e.acc, nil).score(m)
 }
 
@@ -166,10 +179,27 @@ func (e *Engine) scoreAll(ctx context.Context, moves []Move, exact bool) ([]Scor
 	}
 	out := make([]Score, len(moves))
 	if workers <= 1 {
+		// The serial scorer works directly on the engine's own caches.
+		// Journaling the round and restoring at the end returns them
+		// bitwise to the pre-round state — the same contract the
+		// parallel workers honor — so a scoring sweep leaves no
+		// floating-point residue on the engine. The speculative round
+		// pipeline relies on this: an engine that scored a round is
+		// indistinguishable from one that never did.
 		var inc *ssta.Incremental
 		if exact {
 			inc = e.inc
 		}
+		e.acc.StartJournal()
+		if inc != nil {
+			inc.StartJournal()
+		}
+		defer func() {
+			e.acc.RestoreJournal()
+			if inc != nil {
+				inc.RestoreJournal()
+			}
+		}()
 		sc := e.newScoreCtx(e.d, e.acc, inc)
 		for i, m := range moves {
 			if err := ctx.Err(); err != nil {

@@ -1,0 +1,85 @@
+// Cross-round speculation support: the search driver overlaps the
+// commit of round R with the candidate scan for round R+1 by running
+// the scan against a forked engine that was advanced along the
+// *predicted* outcome of round R. Three properties make the payload
+// bitwise substitutable for a serial recomputation:
+//
+//   - Fork is bitwise: the design assignment and both cache layers
+//     (leakage accumulator, incremental timer) clone flat slices, so
+//     the fork and the parent start from identical bits.
+//   - Replay is deterministic: applying the same move sequence through
+//     Engine.Apply/Revert performs the same floating-point operations
+//     in the same order on both sides, including the RefreshEvery
+//     auto-rebuild (the fork inherits sinceRefresh, so both cross the
+//     threshold on the same move).
+//   - Scoring is net-zero: every scoring path journals the caches and
+//     restores them bit for bit (see score.go), so a fork that scored
+//     a candidate sweep is indistinguishable from one that never did.
+//
+// Validation is therefore pure op-sequence equality: the parent
+// records every mutation committed during the round (BeginObserve/
+// EndObserve), and the driver compares that trace against the
+// predicted one. Any divergence — a rejected first-accept candidate,
+// a peeled batch move, an external Refresh — aborts the speculation
+// and the driver recomputes serially; trajectories stay bit-for-bit
+// identical to the serial driver either way.
+package engine
+
+// SpecOp is one engine mutation, as predicted by the search driver or
+// observed during a committed round. Move implementations are
+// comparable value structs, so two SpecOps compare with ==.
+type SpecOp struct {
+	M      Move
+	Revert bool
+}
+
+// Fork returns a speculative engine: a bitwise clone of the design and
+// of every live cache, sharing only immutable context (circuit,
+// library, variation model, exponent statistics, topological order).
+// The fork has no scoring workers and no observation state; caches the
+// parent has not built stay unbuilt and are created lazily on the fork
+// from its own design if first touched there.
+func (e *Engine) Fork() *Engine {
+	dc := e.d.Clone()
+	f := &Engine{
+		d:            dc,
+		cfg:          e.cfg,
+		dLc:          e.dLc,
+		dVc:          e.dVc,
+		sinceRefresh: e.sinceRefresh,
+	}
+	if e.acc != nil {
+		f.acc = e.acc.CloneFor(dc)
+	}
+	if e.inc != nil {
+		f.inc = e.inc.CloneFor(dc)
+	}
+	return f
+}
+
+// BeginObserve starts recording the mutations committed through the
+// engine, for the speculative driver's predicted-vs-realized check.
+// Only Apply/Revert are recorded; scoring works on journaled state and
+// never passes through them.
+func (e *Engine) BeginObserve() {
+	e.observing = true
+	e.observed = e.observed[:0]
+	e.observedHazard = false
+}
+
+// EndObserve stops recording and returns the observed mutation
+// sequence. clean is false when something happened that op-sequence
+// equality cannot certify — currently an explicit Refresh call, which
+// rebuilds the caches outside the deterministic auto-refresh schedule
+// a fork mirrors on its own.
+func (e *Engine) EndObserve() (ops []SpecOp, clean bool) {
+	e.observing = false
+	return e.observed, !e.observedHazard
+}
+
+// observe records one committed mutation while a round is observed.
+func (e *Engine) observe(m Move, revert bool) {
+	if e.observing {
+		e.observed = append(e.observed, SpecOp{M: m, Revert: revert})
+	}
+}

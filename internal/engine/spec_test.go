@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// queryViews materializes and returns the engine's statistical views:
+// the delay quantile, the leakage quantile, and the per-node
+// statistical slack vector.
+func queryViews(t *testing.T, e *Engine) (dq, lq float64, slack []float64) {
+	t.Helper()
+	dq, err := e.DelayQuantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, err = e.LeakQuantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack, err = e.StatisticalSlack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dq, lq, slack
+}
+
+// TestForkReplayBitwiseEquivalence is the replay-equivalence property
+// test for the structure-of-arrays cache layout: Fork clones the flat
+// accumulator and timer state bitwise, and replaying the same
+// committed move sequence on both sides — across auto-refresh
+// boundaries, with journaled scoring sweeps interleaved on the parent
+// — must keep every statistical view of the two engines exactly
+// equal, not merely close. This is the property that lets the
+// speculative pipeline substitute a fork's scan results for the
+// parent's own.
+func TestForkReplayBitwiseEquivalence(t *testing.T) {
+	e, d := testEngine(t, "s432", Config{Workers: 1, RefreshEvery: 16})
+	ids := gateIDs(d)
+	rng := rand.New(rand.NewSource(7))
+
+	// Materialize every cache before forking so the fork clones live
+	// SoA state instead of rebuilding it from scratch.
+	queryViews(t, e)
+	f := e.Fork()
+
+	for step := 0; step < 120; step++ {
+		mv, ok := randomMove(d, ids, rng)
+		if !ok {
+			continue
+		}
+		if err := e.Apply(mv); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Apply(mv); err != nil {
+			t.Fatal(err)
+		}
+		if step%16 == 0 {
+			// A journaled scoring sweep on the parent is net-zero on
+			// its caches, so it must not break the equality below.
+			if cand, ok := randomMove(d, ids, rng); ok {
+				if _, err := e.Score(cand); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if step%8 != 0 {
+			continue
+		}
+		edq, elq, eslack := queryViews(t, e)
+		fdq, flq, fslack := queryViews(t, f)
+		if edq != fdq || elq != flq {
+			t.Fatalf("step %d: fork diverged: delayQ %v vs %v, leakQ %v vs %v",
+				step, edq, fdq, elq, flq)
+		}
+		for i := range eslack {
+			if eslack[i] != fslack[i] {
+				t.Fatalf("step %d: slack[%d] diverged: %v vs %v",
+					step, i, eslack[i], fslack[i])
+			}
+		}
+	}
+}
+
+// TestObserveRecordsRoundOps checks the parent-side half of the
+// speculation protocol: BeginObserve/EndObserve capture exactly the
+// committed Apply/Revert sequence, scoring stays invisible (it works
+// on journaled state), and an external Refresh marks the round
+// unclean.
+func TestObserveRecordsRoundOps(t *testing.T) {
+	e, d := testEngine(t, "s432", Config{})
+	ids := gateIDs(d)
+	mv, ok := NewUpsize(d, ids[0])
+	if !ok {
+		t.Fatal("no upsize available on the first gate")
+	}
+
+	e.BeginObserve()
+	if err := e.Apply(mv); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Revert(mv); err != nil {
+		t.Fatal(err)
+	}
+	ops, clean := e.EndObserve()
+	if !clean {
+		t.Error("apply/revert round reported unclean")
+	}
+	want := []SpecOp{{M: mv}, {M: mv, Revert: true}}
+	if len(ops) != len(want) || ops[0] != want[0] || ops[1] != want[1] {
+		t.Fatalf("observed ops = %v, want %v", ops, want)
+	}
+
+	// Scoring never passes through Apply/Revert, so an observed round
+	// that only scores records nothing.
+	e.BeginObserve()
+	if _, err := e.Score(mv); err != nil {
+		t.Fatal(err)
+	}
+	ops, clean = e.EndObserve()
+	if len(ops) != 0 || !clean {
+		t.Fatalf("scoring leaked into observation: ops=%v clean=%v", ops, clean)
+	}
+
+	// An external Refresh rebuilds caches outside the deterministic
+	// schedule a fork mirrors — the round must be marked unclean.
+	e.BeginObserve()
+	if err := e.Apply(mv); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, clean = e.EndObserve(); clean {
+		t.Error("external Refresh during an observed round not flagged as a hazard")
+	}
+}

@@ -7,13 +7,14 @@ package leakage
 // including the floating-point drift a clone-per-round scorer would
 // have discarded with the clone. The journal is O(state touched): the
 // scalar sums and the k-vectors are snapshotted once, the per-gate
-// caches only on the first Update of each gate.
+// stride-3 rows (see Accumulator.pg) only on the first Update of each
+// gate, copied into one flat undo slice.
 type accJournal struct {
 	M, Q, d1, d2, gateLeak, second2 float64
 	v, b                            []float64
 
-	ids            []int     // gates touched, in first-touch order
-	m, diagExp, gl []float64 // pre-touch per-gate values, parallel to ids
+	ids []int     // gates touched, in first-touch order
+	pg  []float64 // pre-touch stride-3 rows, parallel to ids
 
 	// First-touch detection by generation stamp: stamp[id] == gen marks
 	// id as already recorded this round. Bumping gen retires a whole
@@ -35,8 +36,8 @@ func (a *Accumulator) StartJournal() {
 		a.spare = nil
 		a.journal = j
 	}
-	if len(j.stamp) < len(a.m) {
-		j.stamp = make([]int, len(a.m))
+	if len(j.stamp) < a.numGates() {
+		j.stamp = make([]int, a.numGates())
 		j.gen = 0
 	}
 	j.gen++
@@ -45,7 +46,7 @@ func (a *Accumulator) StartJournal() {
 	j.v = append(j.v[:0], a.v...)
 	j.b = append(j.b[:0], a.b...)
 	j.ids = j.ids[:0]
-	j.m, j.diagExp, j.gl = j.m[:0], j.diagExp[:0], j.gl[:0]
+	j.pg = j.pg[:0]
 }
 
 // RestoreJournal puts the accumulator back to its StartJournal state
@@ -60,22 +61,18 @@ func (a *Accumulator) RestoreJournal() {
 	copy(a.v, j.v)
 	copy(a.b, j.b)
 	for i, id := range j.ids {
-		a.m[id] = j.m[i]
-		a.diagExp[id] = j.diagExp[i]
-		a.gl[id] = j.gl[i]
+		copy(a.pg[pgStride*id:pgStride*id+pgStride], j.pg[pgStride*i:pgStride*i+pgStride])
 	}
 	a.journal = nil
 	a.spare = j // keep the allocations for the next round
 }
 
-// note records gate id's cached values before their first overwrite.
+// note records gate id's cached row before its first overwrite.
 func (j *accJournal) note(a *Accumulator, id int) {
 	if j.stamp[id] == j.gen {
 		return
 	}
 	j.stamp[id] = j.gen
 	j.ids = append(j.ids, id)
-	j.m = append(j.m, a.m[id])
-	j.diagExp = append(j.diagExp, a.diagExp[id])
-	j.gl = append(j.gl, a.gl[id])
+	j.pg = append(j.pg, a.pg[pgStride*id:pgStride*id+pgStride]...)
 }

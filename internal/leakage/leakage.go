@@ -56,11 +56,16 @@ func (a *Analysis) CDF(x float64) float64 {
 }
 
 // exponent carries the (assignment-independent) exponent statistics of
-// one gate: loading onto the globals and the independent variance.
+// one gate: loading onto the globals and the independent variance. The
+// two exp factors every accumulator update needs are precomputed here
+// — they depend only on placement and technology, so hoisting them out
+// of the per-move hot path changes no arithmetic, just where it runs.
 type exponent struct {
-	e      []float64 // −β·k_roll·a_k(x,y): loading of X_i on Z
-	s2ind  float64   // Var of the private part of X_i
-	normE2 float64   // |e|²
+	e       []float64 // −β·k_roll·a_k(x,y): loading of X_i on Z
+	s2ind   float64   // Var of the private part of X_i
+	normE2  float64   // |e|²
+	expHalf float64   // exp(½(|e|²+s²)): the E[L_i] lognormal factor
+	expFull float64   // exp(|e|²+s²): the E[L_i²] diagonal factor
 }
 
 // exponents precomputes the per-gate exponent statistics. They depend
@@ -85,7 +90,12 @@ func exponents(d *core.Design) []exponent {
 		}
 		sL := bL * vm.SigmaIndNm()
 		sV := bV * vm.SigmaVthInd()
-		out[g.ID] = exponent{e: e, s2ind: sL*sL + sV*sV, normE2: n2}
+		s2 := sL*sL + sV*sV
+		out[g.ID] = exponent{
+			e: e, s2ind: s2, normE2: n2,
+			expHalf: math.Exp(0.5 * (n2 + s2)),
+			expFull: math.Exp(n2 + s2),
+		}
 	}
 	return out
 }
@@ -107,7 +117,7 @@ func Exact(d *core.Design) (*Analysis, error) {
 	m := make([]float64, len(ids)) // E[L_i]
 	for i, id := range ids {
 		ex := &exps[id]
-		m[i] = d.GateSubLeak(id) * math.Exp(0.5*(ex.normE2+ex.s2ind))
+		m[i] = d.GateSubLeak(id) * ex.expHalf
 		gateLeak += d.GateGateLeak(id)
 	}
 	mean := 0.0
@@ -118,12 +128,13 @@ func Exact(d *core.Design) (*Analysis, error) {
 	for i, idi := range ids {
 		exi := &exps[idi]
 		// diagonal: E[L_i²] = m0² exp(2(|e|²+s²)) = m_i²·exp(|e|²+s²)
-		second += m[i] * m[i] * math.Exp(exi.normE2+exi.s2ind)
+		second += m[i] * m[i] * exi.expFull
+		ei := exi.e
 		for j := i + 1; j < len(ids); j++ {
-			exj := &exps[ids[j]]
+			ej := exps[ids[j]].e[:len(ei)]
 			cov := 0.0
-			for k := range exi.e {
-				cov += exi.e[k] * exj.e[k]
+			for k, v := range ei {
+				cov += v * ej[k]
 			}
 			second += 2 * m[i] * m[j] * math.Exp(cov)
 		}
@@ -165,9 +176,13 @@ type Accumulator struct {
 	exps []exponent
 	k    int
 
-	m        []float64 // per-gate E[L_i] under the current assignment
-	diagExp  []float64 // per-gate exp(|e|²+s²) factor for E[L_i²]
-	gl       []float64 // per-gate deterministic gate-leak contribution
+	// pg is the per-gate cached state, structure-of-arrays with a
+	// stride of pgStride floats per gate: E[L_i] under the current
+	// assignment, the exp(|e|²+s²) factor for E[L_i²], and the
+	// deterministic gate-leak contribution. One update touches one
+	// contiguous triple; journal replay and clones walk (or bulk-copy)
+	// one flat slice.
+	pg       []float64
 	M, Q     float64
 	v        []float64
 	b        []float64 // k×k row-major
@@ -179,20 +194,24 @@ type Accumulator struct {
 	spare   *accJournal // retired journal kept to reuse its allocations
 }
 
+// pgStride is the number of cached floats per gate in Accumulator.pg:
+// mean contribution, diagonal exponent factor, gate-leak offset.
+const pgStride = 3
+
+func (a *Accumulator) numGates() int { return len(a.pg) / pgStride }
+
 // NewAccumulator builds the factored state for the design's current
 // assignment.
 func NewAccumulator(d *core.Design) (*Accumulator, error) {
 	exps := exponents(d)
 	k := d.Var.NumPC
 	a := &Accumulator{
-		d:       d,
-		exps:    exps,
-		k:       k,
-		m:       make([]float64, d.Circuit.NumNodes()),
-		diagExp: make([]float64, d.Circuit.NumNodes()),
-		gl:      make([]float64, d.Circuit.NumNodes()),
-		v:       make([]float64, k),
-		b:       make([]float64, k*k),
+		d:    d,
+		exps: exps,
+		k:    k,
+		pg:   make([]float64, pgStride*d.Circuit.NumNodes()),
+		v:    make([]float64, k),
+		b:    make([]float64, k*k),
 	}
 	any := false
 	for _, g := range d.Circuit.Gates() {
@@ -219,9 +238,7 @@ func (a *Accumulator) CloneFor(d *core.Design) *Accumulator {
 		d:        d,
 		exps:     a.exps,
 		k:        a.k,
-		m:        append([]float64(nil), a.m...),
-		diagExp:  append([]float64(nil), a.diagExp...),
-		gl:       append([]float64(nil), a.gl...),
+		pg:       append([]float64(nil), a.pg...),
 		M:        a.M,
 		Q:        a.Q,
 		v:        append([]float64(nil), a.v...),
@@ -238,22 +255,32 @@ func (a *Accumulator) CloneFor(d *core.Design) *Accumulator {
 // assignment has typically already changed by the time Update runs.
 func (a *Accumulator) addGate(id int, sign float64) {
 	ex := &a.exps[id]
+	pg := a.pg[pgStride*id : pgStride*id+pgStride]
 	if sign > 0 {
-		a.m[id] = a.d.GateSubLeak(id) * math.Exp(0.5*(ex.normE2+ex.s2ind))
-		a.diagExp[id] = math.Exp(ex.normE2 + ex.s2ind)
-		a.gl[id] = a.d.GateGateLeak(id)
+		pg[0] = a.d.GateSubLeak(id) * ex.expHalf
+		pg[1] = ex.expFull
+		pg[2] = a.d.GateGateLeak(id)
 	}
-	mi := a.m[id]
+	mi := pg[0]
 	a.M += sign * mi
 	a.Q += sign * mi * mi
 	a.d1 += sign * mi * mi * ex.normE2
 	a.d2 += sign * mi * mi * ex.normE2 * ex.normE2
-	a.second2 += sign * mi * mi * a.diagExp[id]
-	a.gateLeak += sign * a.gl[id]
-	for k := 0; k < a.k; k++ {
-		a.v[k] += sign * mi * ex.e[k]
-		for l := 0; l < a.k; l++ {
-			a.b[k*a.k+l] += sign * mi * ex.e[k] * ex.e[l]
+	a.second2 += sign * mi * mi * pg[1]
+	a.gateLeak += sign * pg[2]
+	// Hoisting (sign·m_i)·e_k keeps the historical left-to-right
+	// association of sign·m_i·e_k·e_l, so the factored sums stay
+	// bitwise identical while the k² inner loop drops from three
+	// multiplies per cell to one; slicing e and each B row to a common
+	// proven length lets the compiler drop the inner bounds checks.
+	e := ex.e[:a.k]
+	v := a.v[:a.k]
+	for k, ek := range e {
+		smk := sign * mi * ek
+		v[k] += smk
+		row := a.b[k*a.k : (k+1)*a.k : (k+1)*a.k]
+		for l, el := range e {
+			row[l] += smk * el
 		}
 	}
 }

@@ -79,7 +79,7 @@ func TestSequentialSSTAConsistency(t *testing.T) {
 	// FF arrivals are their own canonical clock-to-Q forms.
 	for _, f := range d.Circuit.Dffs() {
 		want := ssta.GateDelayCanonical(d, f)
-		got := sr.Arrivals[f]
+		got := sr.Arrival(f)
 		if got.Mean != want.Mean || got.Rand != want.Rand {
 			t.Fatalf("DFF %d arrival form differs from its clk-to-Q form", f)
 		}

@@ -1,0 +1,191 @@
+// The speculative cross-round pipeline: while round R commits on the
+// parent engine, the candidate scan for round R+1 runs on a forked
+// engine advanced along round R's *predicted* outcome. If the round
+// realizes exactly as predicted — same mutation sequence, move for
+// move — the scan's payload is handed to the policy's Consume and the
+// next Propose skips its own scan; otherwise the payload is discarded
+// and the fork rebuilt, so a mispredicted round costs one abandoned
+// scan and nothing else.
+//
+// Predictions follow the round mode's optimistic path: a Batch round
+// commits every move with no peeling; a FirstAccept round keeps its
+// first candidate. The parent records the mutations it actually
+// commits (engine.BeginObserve/EndObserve) and the driver compares
+// the trace against the prediction — rejected candidates and peeled
+// moves surface as apply/revert ops that fail the comparison.
+//
+// Equivalence with the serial loop is bit-for-bit, not approximate:
+// the fork is a bitwise clone, replaying the predicted ops performs
+// the identical floating-point sequence the parent performs realizing
+// them, and all scoring is journal-restored (net-zero) on both sides.
+// See DESIGN.md §12 for the full protocol argument.
+package search
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Speculation instrumentation: the rounds/aborts ratio is the
+// prediction accuracy; the stall histogram is the time the driver
+// waits for a speculative scan still running after its round already
+// committed (the pipeline's residual serial cost).
+var (
+	metSpecRounds = obs.Default.Counter("statleak_search_spec_rounds_total",
+		"search rounds whose speculative prefetch validated and was consumed")
+	metSpecAborts = obs.Default.Counter("statleak_search_spec_aborts_total",
+		"speculative prefetches discarded (mispredicted round, hazard, or scan error)")
+	metSpecStall = obs.Default.Histogram("statleak_search_spec_commit_stall_seconds",
+		"time the driver stalled waiting for a speculative scan after round commit",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+)
+
+// Speculator is the optional driver surface the pipeline needs.
+// engine.Engine implements it; engine.Family deliberately does not
+// (corner families multiplex one assignment across several engines,
+// and fall back to the serial loop automatically).
+type Speculator interface {
+	Driver
+	Fork() *engine.Engine
+	BeginObserve()
+	EndObserve() (ops []engine.SpecOp, clean bool)
+}
+
+// specTask is one in-flight speculative scan. The goroutine owns the
+// fork until done is closed; the driver must join before touching it.
+type specTask struct {
+	predicted []engine.SpecOp
+	done      chan struct{}
+	payload   any
+	err       error
+}
+
+// predictOps returns the optimistic mutation sequence for a round:
+// every move applies, nothing reverts.
+func predictOps(r *Round) []engine.SpecOp {
+	if r.Mode == Batch {
+		ops := make([]engine.SpecOp, len(r.Moves))
+		for i, m := range r.Moves {
+			ops[i] = engine.SpecOp{M: m}
+		}
+		return ops
+	}
+	return []engine.SpecOp{{M: r.Moves[0]}}
+}
+
+func opsEqual(a, b []engine.SpecOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runPipelined is the speculative form of runSerial. The round
+// structure, tally accounting and hook order are identical; the only
+// additions are the prefetch launch before each commit and the
+// validate/consume step after it.
+func runPipelined(ctx context.Context, e Speculator, p Policy) (*Tally, error) {
+	t := &Tally{}
+	if p.Propose == nil || p.Verify == nil {
+		return t, errPolicy(p)
+	}
+	proposed := metProposed.With(p.Optimizer)
+	accepted := metAccepted.With(p.Optimizer)
+	rounds := metRounds.With(p.Optimizer)
+
+	var spec *engine.Engine // synced fork from the last validated round
+	for {
+		if err := ctx.Err(); err != nil {
+			return t, err
+		}
+		r, err := p.Propose(ctx, t)
+		if err != nil {
+			return t, err
+		}
+		if r == nil {
+			return t, nil
+		}
+		t.Rounds++
+		rounds.Inc()
+		if len(r.Moves) == 0 {
+			// An empty round touches policy state only; a synced fork
+			// stays synced.
+			continue
+		}
+		metBatch.Observe(float64(len(r.Moves)))
+
+		// Launch the speculative scan for the next round. The fork is
+		// advanced and scanned entirely on the task goroutine; the
+		// driver does not touch it again until the join below.
+		var task *specTask
+		if inner := p.Prefetch(t); inner != nil {
+			if spec == nil {
+				spec = e.Fork()
+			}
+			task = &specTask{predicted: predictOps(r), done: make(chan struct{})}
+			go func(fork *engine.Engine, task *specTask) {
+				defer close(task.done)
+				for _, op := range task.predicted {
+					var err error
+					if op.Revert {
+						err = fork.Revert(op.M)
+					} else {
+						err = fork.Apply(op.M)
+					}
+					if err != nil {
+						task.err = err
+						return
+					}
+				}
+				task.payload, task.err = inner(ctx, fork)
+			}(spec, task)
+		} else if spec != nil {
+			// Declined round: the parent will advance without the fork.
+			spec = nil
+		}
+
+		e.BeginObserve()
+		var kept int
+		switch r.Mode {
+		case Batch:
+			kept, err = runBatch(e, r.Moves, t, p, proposed)
+		default:
+			kept, err = runFirstAccept(e, r.Moves, t, p, proposed)
+		}
+		observed, clean := e.EndObserve()
+
+		if task != nil {
+			t0 := time.Now()
+			<-task.done
+			metSpecStall.Observe(time.Since(t0).Seconds())
+			if err == nil && clean && task.err == nil && opsEqual(observed, task.predicted) {
+				metSpecRounds.Inc()
+				p.Consume(task.payload)
+			} else {
+				metSpecAborts.Inc()
+				spec = nil
+			}
+		}
+		if err != nil {
+			return t, err
+		}
+		accepted.Add(uint64(kept))
+		if p.RoundDone != nil {
+			stop, err := p.RoundDone(kept, t)
+			if err != nil {
+				return t, err
+			}
+			if stop {
+				return t, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// forced returns the config that forces the speculative pipeline on
+// regardless of GOMAXPROCS (the auto gate declines on one proc).
+func forced() Config { return Config{Speculate: true} }
+
+// TestPipelinedValidatedPayloadMatchesParent drives three accepting
+// first-accept rounds through the pipeline and checks that every
+// speculative payload — computed on the fork advanced along the
+// prediction — equals the value the parent engine holds once the round
+// really commits. That is the substitution the whole protocol rests on.
+func TestPipelinedValidatedPayloadMatchesParent(t *testing.T) {
+	e, d := testEngine(t)
+	moves := upsizes(t, d, 3)
+
+	round := 0
+	var payloads, parent []float64
+	tally, err := RunWith(context.Background(), e, Policy{
+		Optimizer: "test-spec",
+		Propose: func(_ context.Context, _ *Tally) (*Round, error) {
+			if round >= len(moves) {
+				return nil, nil
+			}
+			r := &Round{Moves: []engine.Move{moves[round]}}
+			round++
+			return r, nil
+		},
+		Verify: func() (bool, error) { return true, nil },
+		RoundDone: func(_ int, _ *Tally) (bool, error) {
+			parent = append(parent, e.TotalLeak())
+			return false, nil
+		},
+		Prefetch: func(*Tally) func(context.Context, *engine.Engine) (any, error) {
+			return func(_ context.Context, view *engine.Engine) (any, error) {
+				return view.TotalLeak(), nil
+			}
+		},
+		Consume: func(p any) { payloads = append(payloads, p.(float64)) },
+	}, forced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Moves != 3 || tally.Rounds != 3 {
+		t.Fatalf("tally = %+v", *tally)
+	}
+	if len(payloads) != 3 {
+		t.Fatalf("consumed %d payloads, want 3 (every round validates)", len(payloads))
+	}
+	for i, p := range payloads {
+		if p != parent[i] {
+			t.Errorf("round %d: fork payload %v != parent post-commit %v", i, p, parent[i])
+		}
+	}
+}
+
+// TestPipelinedMispredictDiscardsPayload rejects the first candidate
+// of each round, so the realized op sequence (apply, revert, apply)
+// never matches the predicted one (apply) and every payload must be
+// discarded — Consume must never run — while the trajectory stays the
+// plain first-accept one.
+func TestPipelinedMispredictDiscardsPayload(t *testing.T) {
+	e, d := testEngine(t)
+	moves := upsizes(t, d, 4)
+
+	round := 0
+	rejects := 0
+	verifies := 0
+	tally, err := RunWith(context.Background(), e, Policy{
+		Optimizer: "test-mispredict",
+		Propose: func(_ context.Context, _ *Tally) (*Round, error) {
+			if round >= 2 {
+				return nil, nil
+			}
+			r := &Round{Moves: []engine.Move{moves[2*round], moves[2*round+1]}}
+			round++
+			return r, nil
+		},
+		// Reject the first candidate of each round, keep the second.
+		Verify: func() (bool, error) {
+			verifies++
+			return verifies%2 == 0, nil
+		},
+		Rejected: func(engine.Move) { rejects++ },
+		Prefetch: func(*Tally) func(context.Context, *engine.Engine) (any, error) {
+			return func(_ context.Context, view *engine.Engine) (any, error) {
+				return view.TotalLeak(), nil
+			}
+		},
+		Consume: func(any) { t.Error("Consume ran for a mispredicted round") },
+	}, forced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Moves != 2 || tally.Rounds != 2 || rejects != 2 {
+		// Each round must have bounced exactly its first candidate.
+		t.Fatalf("tally = %+v, rejects = %d", *tally, rejects)
+	}
+	// The rejected gates must be back at their original size.
+	if got := d.SizeIndex(moves[0].Gate()); got != moves[0].(engine.Resize).FromIdx {
+		t.Errorf("rejected move not reverted: size index %d", got)
+	}
+}
+
+// TestPipelinedBatchPeelToEmpty drains a Batch round down to nothing:
+// every move peels, the engine state is fully restored, the prediction
+// (everything commits) aborts, and RoundDone's accepted==0 stop rule
+// ends the search. The serial driver must agree on all of it.
+func TestPipelinedBatchPeelToEmpty(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		c    Config
+	}{
+		{"pipelined", forced()},
+		{"serial", Config{Serial: true}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			e, d := testEngine(t)
+			moves := upsizes(t, d, 3)
+			orig := make([]int, len(moves))
+			for i, mv := range moves {
+				orig[i] = d.SizeIndex(mv.Gate())
+			}
+			round := 0
+			tally, err := RunWith(context.Background(), e, Policy{
+				Optimizer: "test-peel-empty",
+				Propose: func(_ context.Context, _ *Tally) (*Round, error) {
+					if round > 0 {
+						t.Error("search continued after a fully-peeled round")
+						return nil, nil
+					}
+					round++
+					return &Round{Moves: moves, Mode: Batch}, nil
+				},
+				Verify: func() (bool, error) { return false, nil },
+				RoundDone: func(accepted int, _ *Tally) (bool, error) {
+					return accepted == 0, nil
+				},
+				Prefetch: func(*Tally) func(context.Context, *engine.Engine) (any, error) {
+					return func(_ context.Context, view *engine.Engine) (any, error) {
+						return view.TotalLeak(), nil
+					}
+				},
+				Consume: func(any) { t.Error("Consume ran for a fully-peeled round") },
+			}, cfg.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tally.Moves != 0 || tally.Peeled != 3 || tally.Rounds != 1 {
+				t.Fatalf("tally = %+v", *tally)
+			}
+			for i, mv := range moves {
+				if got := d.SizeIndex(mv.Gate()); got != orig[i] {
+					t.Errorf("peeled move %d not reverted: size index %d", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedEmptyRoundSkipsSpeculation: empty rounds spend a round
+// without touching the engine, so the pipeline must not launch (or
+// invalidate) a speculative scan for them.
+func TestPipelinedEmptyRoundSkipsSpeculation(t *testing.T) {
+	e, _ := testEngine(t)
+	round := 0
+	prefetches := 0
+	tally, err := RunWith(context.Background(), e, Policy{
+		Optimizer: "test-empty-spec",
+		Propose: func(_ context.Context, _ *Tally) (*Round, error) {
+			round++
+			if round > 3 {
+				return nil, nil
+			}
+			return &Round{}, nil
+		},
+		Verify: func() (bool, error) { return true, nil },
+		Prefetch: func(*Tally) func(context.Context, *engine.Engine) (any, error) {
+			prefetches++
+			return func(_ context.Context, view *engine.Engine) (any, error) {
+				return nil, nil
+			}
+		},
+		Consume: func(any) { t.Error("Consume ran without a non-empty round") },
+	}, forced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Rounds != 3 || tally.Moves != 0 {
+		t.Fatalf("tally = %+v", *tally)
+	}
+	if prefetches != 0 {
+		t.Errorf("Prefetch ran %d times for empty rounds", prefetches)
+	}
+}
+
+// TestPipelinedCancellationJoinsInFlightScan cancels the context after
+// the speculative scan has launched but before the round finishes
+// committing. The driver must join the scan before returning — the
+// goroutine observes the cancellation and finishes first — and then
+// surface ctx.Err() at the next round boundary, with the committed
+// move kept.
+func TestPipelinedCancellationJoinsInFlightScan(t *testing.T) {
+	e, d := testEngine(t)
+	moves := upsizes(t, d, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var scanFinished atomic.Bool
+	tally, err := RunWith(ctx, e, Policy{
+		Optimizer: "test-cancel-spec",
+		Propose: func(_ context.Context, _ *Tally) (*Round, error) {
+			return &Round{Moves: moves}, nil
+		},
+		// By the time Verify runs the scan is already in flight; cancel
+		// here so the cancellation lands between speculation start and
+		// the end of the commit.
+		Verify: func() (bool, error) {
+			cancel()
+			return true, nil
+		},
+		Prefetch: func(*Tally) func(context.Context, *engine.Engine) (any, error) {
+			return func(ctx context.Context, view *engine.Engine) (any, error) {
+				<-ctx.Done() // park until the driver's context dies
+				scanFinished.Store(true)
+				return nil, ctx.Err()
+			}
+		},
+		Consume: func(any) { t.Error("Consume ran for an errored scan") },
+	}, forced())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !scanFinished.Load() {
+		t.Fatal("RunWith returned without joining the in-flight speculative scan")
+	}
+	if tally.Moves != 1 || tally.Rounds != 1 {
+		t.Fatalf("tally = %+v", *tally)
+	}
+	if got := d.SizeIndex(moves[0].Gate()); got != moves[0].(engine.Resize).FromIdx+1 {
+		t.Errorf("committed move lost on cancellation: size index %d", got)
+	}
+}
+
+// TestPipelinedHookErrorJoinsInFlightScan: a policy hook failing
+// mid-commit must still join the speculative scan before the error
+// propagates, so no goroutine outlives the search.
+func TestPipelinedHookErrorJoinsInFlightScan(t *testing.T) {
+	e, d := testEngine(t)
+	moves := upsizes(t, d, 1)
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var scanFinished atomic.Bool
+	tally, err := RunWith(context.Background(), e, Policy{
+		Optimizer: "test-err-spec",
+		Propose: func(_ context.Context, _ *Tally) (*Round, error) {
+			return &Round{Moves: moves}, nil
+		},
+		Verify: func() (bool, error) { return true, nil },
+		Accepted: func(engine.Move, *Tally) error {
+			close(release)
+			return boom
+		},
+		Prefetch: func(*Tally) func(context.Context, *engine.Engine) (any, error) {
+			return func(_ context.Context, view *engine.Engine) (any, error) {
+				<-release
+				scanFinished.Store(true)
+				return view.TotalLeak(), nil
+			}
+		},
+		Consume: func(any) { t.Error("Consume ran for an errored round") },
+	}, forced())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !scanFinished.Load() {
+		t.Fatal("RunWith returned without joining the in-flight speculative scan")
+	}
+	if tally.Moves != 1 {
+		t.Fatalf("tally should reflect the kept move: %+v", *tally)
+	}
+}

@@ -56,8 +56,9 @@ func (c Canonical) Clone() Canonical {
 // are shared; private residuals of distinct forms are independent.
 func Covariance(a, b Canonical) float64 {
 	cov := 0.0
-	for k := range a.Sens {
-		cov += a.Sens[k] * b.Sens[k]
+	bs := b.Sens[:len(a.Sens)] // one bounds proof for the whole dot
+	for k, s := range a.Sens {
+		cov += s * bs[k]
 	}
 	return cov
 }
@@ -106,33 +107,68 @@ func AddInPlace(a *Canonical, b Canonical) {
 // T = P(a ≥ b), and the private residual set to absorb whatever
 // variance the blended sensitivities do not explain.
 func Max(a, b Canonical) Canonical {
-	sa, sb := a.Sigma(), b.Sigma()
-	rho := Correlation(a, b)
+	out := Canonical{Sens: make([]float64, len(a.Sens))}
+	maxInto(&out, a, b)
+	return out
+}
+
+// maxInto computes Max(a,b) into dst, whose Sens must already have the
+// right length. dst may alias a (each Sens slot is read before it is
+// written), which is what lets the incremental timer fold a max chain
+// in place with zero allocation. The arithmetic is expression-for-
+// expression the historical Max — each input variance is just computed
+// once instead of twice — so results are bitwise unchanged.
+func maxInto(dst *Canonical, a, b Canonical) {
+	va, vb := a.Variance(), b.Variance()
+	sa, sb := math.Sqrt(va), math.Sqrt(vb)
+	rho := 0.0
+	if !stats.EqZero(va) && !stats.EqZero(vb) {
+		rho = Covariance(a, b) / math.Sqrt(va*vb)
+		if rho > 1 {
+			rho = 1
+		}
+		if rho < -1 {
+			rho = -1
+		}
+	}
 	m := stats.ClarkMax(a.Mean, sa, b.Mean, sb, rho)
-	out := Canonical{Mean: m.Mean, Sens: make([]float64, len(a.Sens))}
 	t := m.Tightness
+	// Hoisting 1−t (the same pure value every iteration) and proving
+	// the three slices congruent up front changes no result bits; it
+	// only removes per-element bounds checks from the blend loop.
+	omt := 1 - t
+	bs := b.Sens[:len(a.Sens)]
+	ds := dst.Sens[:len(a.Sens)]
 	explained := 0.0
-	for k := range a.Sens {
-		s := t*a.Sens[k] + (1-t)*b.Sens[k]
-		out.Sens[k] = s
+	for k, av := range a.Sens {
+		s := t*av + omt*bs[k]
+		ds[k] = s
 		explained += s * s
 	}
+	dst.Mean = m.Mean
 	resid := m.Variance - explained
 	if resid > 0 {
-		out.Rand = math.Sqrt(resid)
+		dst.Rand = math.Sqrt(resid)
 	} else {
 		// Blended sensitivities over-explain the Clark variance (can
 		// happen when the inputs are nearly perfectly correlated);
 		// rescale them to match it exactly.
-		out.Rand = 0
+		dst.Rand = 0
 		if explained > 0 {
 			scale := math.Sqrt(m.Variance / explained)
-			for k := range out.Sens {
-				out.Sens[k] *= scale
+			for k := range dst.Sens {
+				dst.Sens[k] *= scale
 			}
 		}
 	}
-	return out
+}
+
+// copyInto overwrites dst with a value copy of src; dst.Sens must
+// already have the right length.
+func copyInto(dst *Canonical, src Canonical) {
+	dst.Mean = src.Mean
+	copy(dst.Sens, src.Sens)
+	dst.Rand = src.Rand
 }
 
 // MaxAll folds Max over a non-empty set of forms.

@@ -86,13 +86,13 @@ func (r *Result) Criticality(d *core.Design) ([]float64, error) {
 	for _, g := range d.Circuit.Gates() {
 		id := g.ID
 		if has[id] {
-			crit[id] = prob(Add(r.Arrivals[id], remaining[id]))
+			crit[id] = prob(Add(r.Arrival(id), remaining[id]))
 		}
 		if g.Type == logic.Dff {
 			// A flip-flop is on the critical path in two roles: as a
 			// launch point (handled above through its Q-side paths)
 			// and as the capture endpoint of its D-pin path.
-			capture := r.Arrivals[g.Fanin[0]].Clone()
+			capture := r.Arrival(g.Fanin[0]).Clone()
 			capture.Mean += setup
 			if c := prob(capture); c > crit[id] {
 				crit[id] = c

@@ -1,7 +1,6 @@
 package ssta
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/core"
@@ -28,11 +27,31 @@ var (
 // canonical operations in the same topological order); only
 // propagation is pruned, and only where an arrival form is bitwise
 // unchanged within tolerance.
+//
+// The arrival state lives structure-of-arrays in Result (three flat
+// float slices), and Update folds each node's max chain in place
+// through per-timer scratch forms, so a steady-state retiming makes
+// no allocations beyond journal growth.
 type Incremental struct {
-	d     *core.Design
-	order []int
-	pos   []int // topo position per node
-	res   *Result
+	d        *core.Design
+	order    []int
+	pos      []int  // topo position per node
+	endpoint []bool // rows the circuit-delay fold reads (POs + DFF data pins)
+	res      *Result
+
+	// Scratch state reused across Updates: the candidate form and the
+	// gate-delay form of the node being re-evaluated, the endpoint
+	// fold accumulator, and the heap's membership set + id storage.
+	next, gd, fold Canonical
+	hIDs           []int
+	hIn            []bool
+
+	// loadPs memoizes Design.Load per node — a pure function of the
+	// fanout sinks' sizes, so entries stay bitwise exact until a sink
+	// changes; Update invalidates the fanins of every changed gate
+	// (the only loads a move can perturb) before re-timing.
+	loadPs []float64
+	loadOK []bool
 
 	journal *incJournal // non-nil while a scoring round records undo state
 	spare   *incJournal // retired journal kept to reuse its allocations
@@ -52,7 +71,37 @@ func NewIncremental(d *core.Design) (*Incremental, error) {
 	for i, id := range order {
 		pos[id] = i
 	}
-	return &Incremental{d: d, order: order, pos: pos, res: res}, nil
+	endpoint := make([]bool, d.Circuit.NumNodes())
+	for _, o := range d.Circuit.Outputs() {
+		endpoint[o] = true
+	}
+	for _, f := range d.Circuit.Dffs() {
+		endpoint[d.Circuit.Gate(f).Fanin[0]] = true
+	}
+	inc := &Incremental{d: d, order: order, pos: pos, endpoint: endpoint, res: res}
+	inc.initScratch()
+	return inc, nil
+}
+
+func (inc *Incremental) initScratch() {
+	k := inc.res.NumPC
+	inc.next = NewCanonical(0, k)
+	inc.gd = NewCanonical(0, k)
+	inc.fold = NewCanonical(0, k)
+	inc.hIn = make([]bool, len(inc.res.mean))
+	inc.loadPs = make([]float64, len(inc.res.mean))
+	inc.loadOK = make([]bool, len(inc.res.mean))
+}
+
+// loadOf returns the cached fanout load of node id, computing it on a
+// miss. The cached value is the same pure function Design.Load would
+// return, so reuse is bitwise neutral.
+func (inc *Incremental) loadOf(id int) float64 {
+	if !inc.loadOK[id] {
+		inc.loadPs[id] = inc.d.Load(id)
+		inc.loadOK[id] = true
+	}
+	return inc.loadPs[id]
 }
 
 // Result returns the current timing view. The caller must treat it as
@@ -62,45 +111,78 @@ func (inc *Incremental) Result() *Result { return inc.res }
 // CloneFor returns an independent copy of the timing state bound to d,
 // which must be a clone of the original design in the same assignment
 // state (no re-analysis is performed). The topological order is shared
-// (it depends only on the circuit); the arrival forms are deep-copied
-// so the clone can Update without disturbing the original — this is
-// what lets parallel move scorers each carry their own timer.
+// (it depends only on the circuit); the arrival state is three bulk
+// slice copies thanks to the flat layout, so the clone can Update
+// without disturbing the original — this is what lets parallel move
+// scorers (and the speculative round pipeline) each carry their own
+// timer.
 func (inc *Incremental) CloneFor(d *core.Design) *Incremental {
 	res := &Result{
-		Arrivals: make([]Canonical, len(inc.res.Arrivals)),
-		Delay:    inc.res.Delay.Clone(),
-		NumPC:    inc.res.NumPC,
+		Delay: inc.res.Delay.Clone(),
+		NumPC: inc.res.NumPC,
+		mean:  append([]float64(nil), inc.res.mean...),
+		rand:  append([]float64(nil), inc.res.rand...),
+		sens:  append([]float64(nil), inc.res.sens...),
 	}
-	for i := range inc.res.Arrivals {
-		res.Arrivals[i] = inc.res.Arrivals[i].Clone()
-	}
-	return &Incremental{d: d, order: inc.order, pos: inc.pos, res: res}
+	c := &Incremental{d: d, order: inc.order, pos: inc.pos, endpoint: inc.endpoint, res: res}
+	c.initScratch()
+	return c
 }
 
-// posHeap is a min-heap of node IDs keyed by topological position.
+// posHeap is a min-heap of node IDs keyed by topological position. Its
+// id storage and membership set are owned by the timer and reused
+// across Updates; membership self-clears because every pushed id is
+// popped before Update returns. The sift-up/sift-down loops are the
+// container/heap algorithm specialized to ints (identical swap and
+// comparison order, so the pop sequence — and with it the retiming
+// order — is exactly what the interface-based heap produced, without
+// boxing every id into an interface value).
 type posHeap struct {
 	ids []int
 	pos []int
-	in  map[int]bool
+	in  []bool
 }
 
-func (h *posHeap) Len() int           { return len(h.ids) }
-func (h *posHeap) Less(i, j int) bool { return h.pos[h.ids[i]] < h.pos[h.ids[j]] }
-func (h *posHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
-func (h *posHeap) Push(x interface{}) { h.ids = append(h.ids, x.(int)) }
-func (h *posHeap) Pop() interface{} {
-	old := h.ids
-	n := len(old)
-	x := old[n-1]
-	h.ids = old[:n-1]
-	return x
-}
+func (h *posHeap) less(i, j int) bool { return h.pos[h.ids[i]] < h.pos[h.ids[j]] }
 
 func (h *posHeap) add(id int) {
-	if !h.in[id] {
-		h.in[id] = true
-		heap.Push(h, id)
+	if h.in[id] {
+		return
 	}
+	h.in[id] = true
+	h.ids = append(h.ids, id)
+	j := len(h.ids) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+		j = i
+	}
+}
+
+func (h *posHeap) pop() int {
+	n := len(h.ids) - 1
+	h.ids[0], h.ids[n] = h.ids[n], h.ids[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.less(j2, j) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+		i = j
+	}
+	x := h.ids[n]
+	h.ids = h.ids[:n]
+	return x
 }
 
 // Update re-times the design after the given gates changed (Vth or
@@ -110,43 +192,55 @@ func (h *posHeap) add(id int) {
 func (inc *Incremental) Update(changed ...int) int {
 	d := inc.d
 	c := d.Circuit
-	h := &posHeap{pos: inc.pos, in: make(map[int]bool)}
+	h := &posHeap{ids: inc.hIDs[:0], pos: inc.pos, in: inc.hIn}
 	for _, id := range changed {
 		h.add(id)
 		// Drivers see a different load if this gate's size changed;
-		// re-seeding them unconditionally is cheap and always safe.
+		// re-seeding them (and dropping their cached loads)
+		// unconditionally is cheap and always safe.
 		for _, f := range c.Gate(id).Fanin {
+			inc.loadOK[f] = false
 			if c.Gate(f).Type != logic.Input {
 				h.add(f)
 			}
 		}
 	}
 	visited := 0
-	for h.Len() > 0 {
-		id := heap.Pop(h).(int)
-		delete(h.in, id)
+	foldStale := false
+	next := &inc.next
+	for len(h.ids) > 0 {
+		id := h.pop()
+		h.in[id] = false
 		g := c.Gate(id)
 		if g.Type == logic.Input {
 			continue
 		}
 		visited++
-		var next Canonical
 		if g.Type == logic.Dff {
-			next = GateDelayCanonical(d, id)
+			gateDelayIntoAt(d, id, inc.loadOf(id), next)
 		} else {
-			in := inc.res.Arrivals[g.Fanin[0]]
+			copyInto(next, inc.res.Arrival(g.Fanin[0]))
 			for _, f := range g.Fanin[1:] {
-				in = Max(in, inc.res.Arrivals[f])
+				maxInto(next, *next, inc.res.Arrival(f))
 			}
-			next = Add(in, GateDelayCanonical(d, id))
+			gateDelayIntoAt(d, id, inc.loadOf(id), &inc.gd)
+			next.Mean += inc.gd.Mean
+			gs := inc.gd.Sens[:len(next.Sens)]
+			for k := range next.Sens {
+				next.Sens[k] += gs[k]
+			}
+			next.Rand = math.Hypot(next.Rand, inc.gd.Rand)
 		}
-		if canonicalEqual(next, inc.res.Arrivals[id]) {
+		if canonicalEqual(*next, inc.res.Arrival(id)) {
 			continue // cone converged: nothing downstream can change
 		}
 		if inc.journal != nil {
 			inc.journal.note(inc, id)
 		}
-		inc.res.Arrivals[id] = next
+		inc.res.setArrival(id, *next)
+		if inc.endpoint[id] {
+			foldStale = true
+		}
 		for _, s := range g.Fanout {
 			if c.Gate(s).Type != logic.Dff {
 				h.add(s)
@@ -155,38 +249,52 @@ func (inc *Incremental) Update(changed ...int) int {
 			// pin; the endpoint fold below picks up the change.
 		}
 	}
-	inc.refold()
+	inc.hIDs = h.ids[:0]
+	// Delay is a pure function of the endpoint rows (each written at
+	// most once per update, in topo order), so when none of them changed
+	// the refold would reproduce the current value bitwise — skip it.
+	if foldStale {
+		inc.refold()
+	}
 	metIncUpdates.Inc()
 	metIncNodes.Add(uint64(visited))
 	return visited
 }
 
 // refold recomputes the circuit-delay form from the endpoint
-// arrivals.
+// arrivals. The fold runs in place through the scratch accumulator;
+// only the final Delay value is freshly allocated, preserving the
+// invariant that Result.Delay is safe to hold by value across updates
+// (the journal's delay snapshot depends on it).
 func (inc *Incremental) refold() {
 	d := inc.d
 	setup := d.Lib.P.DffSetupPs
-	var acc Canonical
+	acc := &inc.fold
 	set := false
 	for _, o := range d.Circuit.Outputs() {
 		if !set {
-			acc = inc.res.Arrivals[o].Clone()
+			copyInto(acc, inc.res.Arrival(o))
 			set = true
 		} else {
-			acc = Max(acc, inc.res.Arrivals[o])
+			maxInto(acc, *acc, inc.res.Arrival(o))
 		}
 	}
 	for _, f := range d.Circuit.Dffs() {
-		capture := inc.res.Arrivals[d.Circuit.Gate(f).Fanin[0]].Clone()
-		capture.Mean += setup
+		capture := inc.res.Arrival(d.Circuit.Gate(f).Fanin[0])
+		captureMean := capture.Mean + setup
 		if !set {
-			acc = capture
+			copyInto(acc, capture)
+			acc.Mean = captureMean
 			set = true
 		} else {
-			acc = Max(acc, capture)
+			maxInto(acc, *acc, Canonical{Mean: captureMean, Sens: capture.Sens, Rand: capture.Rand})
 		}
 	}
-	inc.res.Delay = acc
+	if !set {
+		inc.res.Delay = Canonical{}
+		return
+	}
+	inc.res.Delay = acc.Clone()
 }
 
 // canonicalEqual compares two forms within floating tolerance.

@@ -71,7 +71,7 @@ func TestIncrementalMatchesFullAnalysis(t *testing.T) {
 			}
 			formsClose(t, inc.Result().Delay, full.Delay, name+" circuit delay")
 			for _, g := range d.Circuit.Gates() {
-				formsClose(t, inc.Result().Arrivals[g.ID], full.Arrivals[g.ID], name+" arrival")
+				formsClose(t, inc.Result().Arrival(g.ID), full.Arrival(g.ID), name+" arrival")
 			}
 		}
 	}

@@ -4,14 +4,19 @@ package ssta
 // records every arrival form an Update overwrites and restores them
 // when the round ends, returning the timer bitwise to its pre-round
 // state. Recording is O(cones touched): the circuit-delay form is
-// snapshotted once, each arrival only on its first overwrite. The old
-// Canonical values are kept by value — Max/Add always allocate fresh
-// Sens slices, so a replaced form's slice is never written again and
-// can be held without copying.
+// snapshotted once, each arrival only on its first overwrite. With
+// the structure-of-arrays layout the replaced rows are copied into
+// three flat undo slices (Update now overwrites rows in place, so the
+// old storage cannot be aliased the way the per-gate []Canonical
+// layout allowed), and restore is a contiguous copy-back per touched
+// row — bitwise, by construction. The delay snapshot stays by value:
+// refold always allocates Result.Delay freshly.
 type incJournal struct {
 	delay Canonical
-	ids   []int
-	olds  []Canonical
+	ids   []int     // nodes touched, in first-touch order
+	mean  []float64 // pre-touch row values, parallel to ids
+	rand  []float64
+	sens  []float64 // len(ids)×NumPC row-major
 
 	// First-touch detection by generation stamp: stamp[id] == gen marks
 	// id as already recorded this round. Bumping gen retires a whole
@@ -33,14 +38,16 @@ func (inc *Incremental) StartJournal() {
 		inc.spare = nil
 		inc.journal = j
 	}
-	if len(j.stamp) < len(inc.res.Arrivals) {
-		j.stamp = make([]int, len(inc.res.Arrivals))
+	if len(j.stamp) < len(inc.res.mean) {
+		j.stamp = make([]int, len(inc.res.mean))
 		j.gen = 0
 	}
 	j.gen++
 	j.delay = inc.res.Delay
 	j.ids = j.ids[:0]
-	j.olds = j.olds[:0]
+	j.mean = j.mean[:0]
+	j.rand = j.rand[:0]
+	j.sens = j.sens[:0]
 }
 
 // RestoreJournal puts the timing view back to its StartJournal state
@@ -50,20 +57,26 @@ func (inc *Incremental) RestoreJournal() {
 	if j == nil {
 		return
 	}
+	k := inc.res.NumPC
 	for i, id := range j.ids {
-		inc.res.Arrivals[id] = j.olds[i]
+		inc.res.mean[id] = j.mean[i]
+		inc.res.rand[id] = j.rand[i]
+		copy(inc.res.sens[id*k:(id+1)*k], j.sens[i*k:(i+1)*k])
 	}
 	inc.res.Delay = j.delay
 	inc.journal = nil
 	inc.spare = j // keep the allocations for the next round
 }
 
-// note records the arrival form of node id before its first overwrite.
+// note records the arrival row of node id before its first overwrite.
 func (j *incJournal) note(inc *Incremental, id int) {
 	if j.stamp[id] == j.gen {
 		return
 	}
 	j.stamp[id] = j.gen
 	j.ids = append(j.ids, id)
-	j.olds = append(j.olds, inc.res.Arrivals[id])
+	j.mean = append(j.mean, inc.res.mean[id])
+	j.rand = append(j.rand, inc.res.rand[id])
+	k := inc.res.NumPC
+	j.sens = append(j.sens, inc.res.sens[id*k:(id+1)*k]...)
 }

@@ -10,15 +10,60 @@ import (
 )
 
 // Result is a full statistical timing analysis of a design.
+//
+// Arrival forms are stored structure-of-arrays — three parallel flat
+// float slices indexed by node ID instead of a []Canonical — so the
+// incremental timer's journal replay and the scoring workers' resync
+// walk contiguous memory and clone in three bulk copies. Use
+// Arrival(id) for the canonical view of one node.
 type Result struct {
-	// Arrivals[i] is the canonical arrival-time form at the output of
-	// node i.
-	Arrivals []Canonical
 	// Delay is the canonical circuit delay: the statistical max over
-	// the primary-output arrivals.
+	// the primary-output arrivals. Its Sens slice is freshly allocated
+	// on every refold, so holding the value across updates is safe.
 	Delay Canonical
 	// NumPC is the dimension of the global variation vector.
 	NumPC int
+
+	mean []float64 // per-node arrival mean, indexed by node ID
+	rand []float64 // per-node private residual σ
+	sens []float64 // n×NumPC row-major global sensitivities
+}
+
+func newResult(n, numPC int) *Result {
+	return &Result{
+		NumPC: numPC,
+		mean:  make([]float64, n),
+		rand:  make([]float64, n),
+		sens:  make([]float64, n*numPC),
+	}
+}
+
+// NumNodes returns the number of nodes the result covers.
+func (r *Result) NumNodes() int { return len(r.mean) }
+
+// Arrival returns the canonical arrival-time form at the output of
+// node id. The returned form's Sens aliases the result's backing
+// storage: treat it as read-only, and re-fetch it after any update
+// (Clone it to hold it across one).
+func (r *Result) Arrival(id int) Canonical {
+	k := r.NumPC
+	return Canonical{
+		Mean: r.mean[id],
+		Sens: r.sens[id*k : (id+1)*k : (id+1)*k],
+		Rand: r.rand[id],
+	}
+}
+
+// ArrivalMean returns just the mean arrival time of node id — the
+// cheap accessor the slack and critical-path walks use.
+func (r *Result) ArrivalMean(id int) float64 { return r.mean[id] }
+
+// setArrival copies c into node id's row.
+func (r *Result) setArrival(id int, c Canonical) {
+	k := r.NumPC
+	r.mean[id] = c.Mean
+	r.rand[id] = c.Rand
+	copy(r.sens[id*k:(id+1)*k], c.Sens)
 }
 
 // GateDelayCanonical builds the canonical delay form of one gate: the
@@ -27,14 +72,34 @@ type Result struct {
 // independent ΔLeff and ΔVth contributions folded into the private
 // residual.
 func GateDelayCanonical(d *core.Design, id int) Canonical {
+	c := NewCanonical(0, d.Var.NumPC)
+	gateDelayInto(d, id, &c)
+	return c
+}
+
+// gateDelayInto computes the gate-delay form into c, whose Sens must
+// already have length NumPC — the allocation-free variant the
+// incremental timer's hot loop uses.
+func gateDelayInto(d *core.Design, id int, c *Canonical) {
+	g := d.Circuit.Gate(id)
+	if g.Type == logic.Input {
+		c.Mean, c.Rand = 0, 0
+		for k := range c.Sens {
+			c.Sens[k] = 0
+		}
+		return
+	}
+	gateDelayIntoAt(d, id, d.Load(id), c)
+}
+
+// gateDelayIntoAt is gateDelayInto at a caller-supplied load (the
+// incremental timer caches loads across updates); id must not be a
+// primary input.
+func gateDelayIntoAt(d *core.Design, id int, load float64, c *Canonical) {
 	vm := d.Var
 	g := d.Circuit.Gate(id)
-	c := NewCanonical(0, vm.NumPC)
-	if g.Type == logic.Input {
-		return c
-	}
-	c.Mean = d.GateDelay(id)
-	dPerNm, dPerV := d.GateDelayDerivs(id)
+	mean, dPerNm, dPerV := d.GateDelayAndDerivsAt(id, load)
+	c.Mean = mean
 	loads := vm.Loads(g.X, g.Y)
 	for k, a := range loads {
 		c.Sens[k] = dPerNm * a
@@ -42,7 +107,6 @@ func GateDelayCanonical(d *core.Design, id int) Canonical {
 	indL := dPerNm * vm.SigmaIndNm()
 	indV := dPerV * vm.SigmaVthInd()
 	c.Rand = math.Sqrt(indL*indL + indV*indV)
-	return c
 }
 
 // metFull counts full block-based analyses; its ratio to
@@ -61,31 +125,31 @@ func Analyze(d *core.Design) (*Result, error) {
 	}
 	n := d.Circuit.NumNodes()
 	numPC := d.Var.NumPC
-	r := &Result{Arrivals: make([]Canonical, n), NumPC: numPC}
+	r := newResult(n, numPC)
 	for _, id := range order {
 		g := d.Circuit.Gate(id)
 		switch g.Type {
 		case logic.Input:
-			r.Arrivals[id] = NewCanonical(0, numPC)
+			// The row is already zero — a deterministic t=0 arrival.
 			continue
 		case logic.Dff:
 			// Launch point: the clock edge plus the (variational)
 			// clock-to-Q delay; the data-pin arrival constrains the
 			// endpoint fold below, not this node.
-			r.Arrivals[id] = GateDelayCanonical(d, id)
+			r.setArrival(id, GateDelayCanonical(d, id))
 			continue
 		}
 		var in Canonical
 		switch len(g.Fanin) {
 		case 1:
-			in = r.Arrivals[g.Fanin[0]]
+			in = r.Arrival(g.Fanin[0])
 		default:
-			in = r.Arrivals[g.Fanin[0]]
+			in = r.Arrival(g.Fanin[0])
 			for _, f := range g.Fanin[1:] {
-				in = Max(in, r.Arrivals[f])
+				in = Max(in, r.Arrival(f))
 			}
 		}
-		r.Arrivals[id] = Add(in, GateDelayCanonical(d, id))
+		r.setArrival(id, Add(in, GateDelayCanonical(d, id)))
 	}
 	// Circuit delay: statistical max over all timing endpoints —
 	// primary outputs, and flip-flop data pins shifted by the setup
@@ -93,10 +157,10 @@ func Analyze(d *core.Design) (*Result, error) {
 	setup := d.Lib.P.DffSetupPs
 	var endpoints []Canonical
 	for _, o := range d.Circuit.Outputs() {
-		endpoints = append(endpoints, r.Arrivals[o])
+		endpoints = append(endpoints, r.Arrival(o))
 	}
 	for _, f := range d.Circuit.Dffs() {
-		capture := r.Arrivals[d.Circuit.Gate(f).Fanin[0]].Clone()
+		capture := r.Arrival(d.Circuit.Gate(f).Fanin[0]).Clone()
 		capture.Mean += setup
 		endpoints = append(endpoints, capture)
 	}
@@ -184,7 +248,7 @@ func (r *Result) StatisticalSlack(d *core.Design, tmax, eta float64) ([]float64,
 	}
 	slack := make([]float64, n)
 	for i := range slack {
-		slack[i] = req[i] - r.Arrivals[i].Mean
+		slack[i] = req[i] - r.mean[i]
 	}
 	return slack, nil
 }
