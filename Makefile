@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet statleaklint lint-sarif build test race scenario chaos cluster speculate bench bench-json experiments-output fuzz daemon
+.PHONY: ci lint vet statleaklint lint-sarif build test race scenario chaos cluster speculate isle bench bench-json experiments-output fuzz daemon
 
-ci: lint build test race scenario chaos cluster speculate fuzz
+ci: lint build test race scenario chaos cluster speculate isle fuzz
 
 # lint = go vet plus the repository's own analyzer suite. statleaklint
 # enforces the engine's determinism/transactionality/concurrency
@@ -70,6 +70,14 @@ cluster:
 speculate:
 	$(GO) test -race -run 'TestSpeculative|TestSerialConfig|TestPipelined|TestFork|TestObserve' ./internal/opt ./internal/search ./internal/engine
 
+# isle runs the importance-sampling suite under the race detector:
+# per-sample weight determinism across worker counts, the zero-shift
+# bitwise reduction to plain sampling, the plain-vs-IS agreement
+# property on ISCAS fixtures, the adaptive-budget loop, and the
+# seed-stream aliasing regression (see DESIGN.md §13).
+isle:
+	$(GO) test -race -run 'TestIS|TestZeroShift|TestSeedStream|TestTimingIS|TestAdaptiveTimingIS|TestStreamSeed|TestSplitMix' ./internal/montecarlo ./internal/yield ./internal/stats
+
 # bench runs every benchmark in the repository: the root evaluation
 # harness (bench_test.go / DESIGN.md §5) plus the package-level
 # micro-benchmarks (engine round scoring and worker resync, …).
@@ -82,7 +90,7 @@ bench:
 # output as machine-readable JSON (cmd/benchjson), the artifact CI
 # uploads for regression tracking. BENCH_OUT names the trajectory file
 # for the current PR (BENCH_OUT=foo.json bench-json to redirect).
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 

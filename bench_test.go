@@ -11,6 +11,7 @@ package repro
 
 import (
 	"io"
+	"math"
 	"testing"
 
 	"repro/internal/engine"
@@ -21,7 +22,9 @@ import (
 	"repro/internal/opt"
 	"repro/internal/ssta"
 	"repro/internal/sta"
+	"repro/internal/stats"
 	"repro/internal/tech"
+	"repro/internal/yield"
 )
 
 func benchCtx() *exp.Context {
@@ -342,6 +345,71 @@ func BenchmarkMonteCarlo100(b *testing.B) {
 
 // BenchmarkOptimizerStatistical measures a full statistical
 // optimization of s432.
+// BenchmarkYieldISVsPlain compares the cost of estimating a
+// Y ≈ 99.9% timing yield to equal confidence: "plain" spends the full
+// 2000-sample budget, "is" grows an importance-sampled budget only
+// until its standard error matches the plain run's binomial SE. The
+// samples/op metric is the demonstration — IS reaches the plain
+// confidence width with an order of magnitude fewer samples.
+func BenchmarkYieldISVsPlain(b *testing.B) {
+	d, err := fixture.Suite("s880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmax := sr.Quantile(0.999)
+	const plainN = 2000
+	pf := 1 - sr.Yield(tmax)
+	targetSE := math.Sqrt(pf * (1 - pf) / plainN)
+	shift := sr.ISShift(tmax)
+
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := montecarlo.Run(d, montecarlo.Config{Samples: plainN, Seed: int64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := yield.TimingIS(res, tmax); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(plainN, "samples/op")
+	})
+	b.Run("is", func(b *testing.B) {
+		b.ReportAllocs()
+		var used int
+		for i := 0; i < b.N; i++ {
+			total := &montecarlo.Result{}
+			for batch, n := 0, 25; ; batch++ {
+				res, err := montecarlo.Run(d, montecarlo.Config{
+					Samples: n, Seed: stats.StreamSeed(int64(i+1), batch),
+					Sampling: montecarlo.ImportanceSampling, TmaxPs: tmax, Shift: shift})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := total.Append(res); err != nil {
+					b.Fatal(err)
+				}
+				est, err := yield.TimingIS(total, tmax)
+				if err != nil {
+					b.Fatal(err)
+				}
+				have := len(total.DelaysPs)
+				if (est.StdErr > 0 && est.StdErr <= targetSE) || have >= plainN {
+					used = have
+					break
+				}
+				n = have
+			}
+		}
+		b.ReportMetric(float64(used), "samples/op")
+	})
+}
+
 func BenchmarkOptimizerStatistical(b *testing.B) {
 	base, err := fixture.Suite("s432")
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/montecarlo"
 	"repro/internal/scenario"
 )
 
@@ -26,6 +27,7 @@ func main() {
 		tmaxFactor = flag.Float64("tmax-factor", 1.3, "delay constraint as a multiple of Dmin")
 		samples    = flag.Int("samples", 2000, "Monte Carlo samples per evaluation")
 		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
+		sampling   = flag.String("sampling", "plain", "Monte Carlo sampling: plain, lhs, or is (importance sampling aimed at each evaluation's Tmax)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 
 		corners     = flag.String("corners", "", "scenario-table voltage corners, comma-separated (vl, vn, vh)")
@@ -43,10 +45,15 @@ func main() {
 		return
 	}
 
+	smode, err := montecarlo.ParseSampling(*sampling)
+	if err != nil {
+		fatal(err)
+	}
 	ctx := exp.NewContext(os.Stdout)
 	ctx.TmaxFactor = *tmaxFactor
 	ctx.MCSamples = *samples
 	ctx.Seed = *seed
+	ctx.Sampling = smode
 	if *benchmarks != "" {
 		ctx.Benchmarks = strings.Split(*benchmarks, ",")
 	}

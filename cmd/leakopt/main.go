@@ -44,6 +44,7 @@ func main() {
 		pctile     = flag.Float64("percentile", 0.99, "leakage percentile objective")
 		samples    = flag.Int("samples", 2000, "Monte Carlo samples for the final scoreboard (0 = skip MC)")
 		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
+		sampling   = flag.String("sampling", "plain", "Monte Carlo sampling: plain, lhs, or is (importance sampling aimed at Tmax)")
 
 		corners     = flag.String("corners", "", "voltage corners, comma-separated (vl, vn, vh); with -temps spans a scenario matrix")
 		temps       = flag.String("temps", "", "operating temperatures [°C], comma-separated")
@@ -53,6 +54,10 @@ func main() {
 	)
 	flag.Parse()
 
+	smode, err := montecarlo.ParseSampling(*sampling)
+	if err != nil {
+		fatal(err)
+	}
 	c, err := loadCircuit(*circuit, *benchFile)
 	if err != nil {
 		fatal(err)
@@ -112,7 +117,7 @@ func main() {
 	}
 	fmt.Println()
 
-	printState("unoptimized (min-size, all LVT)", d, o, *samples, *seed)
+	printState("unoptimized (min-size, all LVT)", d, o, *samples, *seed, smode)
 
 	var infeasible []string
 	if *mode == "det" || *mode == "both" {
@@ -125,7 +130,7 @@ func main() {
 			o.CornerSigma, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
 			res.Feasible, res.Runtime.Seconds())
 		printCorners(res.Corners)
-		printState("deterministic result", det, o, *samples, *seed)
+		printState("deterministic result", det, o, *samples, *seed, smode)
 		if !res.Feasible {
 			infeasible = append(infeasible, "deterministic")
 		}
@@ -140,7 +145,7 @@ func main() {
 			o.YieldTarget, res.Moves, res.SizeUps, res.VthSwaps, res.SizeDowns,
 			res.Feasible, res.Runtime.Seconds())
 		printCorners(res.Corners)
-		printState("statistical result", stat, o, *samples, *seed)
+		printState("statistical result", stat, o, *samples, *seed, smode)
 		if !res.Feasible {
 			infeasible = append(infeasible, "statistical")
 		}
@@ -196,7 +201,7 @@ func loadCircuit(suiteName, path string) (*logic.Circuit, error) {
 	}
 }
 
-func printState(label string, d *core.Design, o opt.Options, samples int, seed int64) {
+func printState(label string, d *core.Design, o opt.Options, samples int, seed int64, smode montecarlo.Sampling) {
 	sr, err := ssta.Analyze(d)
 	if err != nil {
 		fatal(err)
@@ -213,12 +218,22 @@ func printState(label string, d *core.Design, o opt.Options, samples int, seed i
 	fmt.Printf("    assignment: %d/%d HVT, avg size %.2f\n",
 		d.CountHVT(), d.Circuit.NumGates(), d.AvgSize())
 	if samples > 0 {
-		mc, err := montecarlo.Run(d, montecarlo.Config{Samples: samples, Seed: seed})
+		mc, err := montecarlo.Run(d, montecarlo.Config{
+			Samples: samples, Seed: seed, Sampling: smode, TmaxPs: o.TmaxPs,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("    MC (%d dies): yield(Tmax) %.4f, leak mean %.0f nW, leak q99 %.0f nW\n",
-			samples, mc.TimingYield(o.TmaxPs), mc.LeakSummary().Mean, mc.LeakQuantile(0.99))
+		y, err := mc.TimingYield(o.TmaxPs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("    MC (%d dies, %s): yield(Tmax) %.4f, leak mean %.0f nW, leak q99 %.0f nW\n",
+			samples, smode, y, mc.LeakMean(), mc.LeakQuantile(0.99))
+		if smode == montecarlo.ImportanceSampling {
+			fmt.Printf("    IS diagnostics: ESS %.0f of %d, weight variance %.3g\n",
+				mc.ESS(), samples, mc.WeightVariance())
+		}
 	}
 	fmt.Println()
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/tech"
 	"repro/internal/variation"
 	"repro/internal/verilog"
+	"repro/internal/yield"
 )
 
 func main() {
@@ -91,6 +92,23 @@ func main() {
 	fmt.Printf("  nominal max delay  %10.1f ps\n", tr.MaxDelay)
 	fmt.Printf("  statistical        %10.1f ps mean, %.1f ps sigma, %.1f ps q99\n\n",
 		sr.Delay.Mean, sr.Delay.Sigma(), sr.Quantile(0.99))
+
+	// Timing-yield curve around the nominal max delay: one shared SSTA
+	// pass serves every constraint queried.
+	ya, err := yield.Analyze(d)
+	if err != nil {
+		fatal(err)
+	}
+	factors := []float64{1.0, 1.05, 1.1, 1.2, 1.3}
+	tmaxs := make([]float64, len(factors))
+	for i, f := range factors {
+		tmaxs[i] = f * tr0.MaxDelay
+	}
+	fmt.Printf("timing yield (SSTA):\n")
+	for i, y := range ya.Curve(tmaxs) {
+		fmt.Printf("  T = %.2f x nominal (%8.1f ps): %.4f\n", factors[i], tmaxs[i], y)
+	}
+	fmt.Println()
 
 	paths, err := sta.TopPaths(d, *nPaths)
 	if err != nil {

@@ -82,9 +82,13 @@ func show(label string, d *core.Design, moves int, ev *opt.StatResult, o opt.Opt
 	if err != nil {
 		log.Fatal(err)
 	}
+	mcy, err := mc.TimingYield(o.TmaxPs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s: %d moves, %d/%d HVT, avg size %.2f\n",
 		label, moves, d.CountHVT(), d.Circuit.NumGates(), d.AvgSize())
 	fmt.Printf("  leakage: mean %.0f nW, q99 %.0f nW\n", ev.LeakMeanNW, ev.LeakPctNW)
 	fmt.Printf("  timing:  mean %.0f ps, sigma %.0f ps, yield(SSTA) %.4f, yield(MC) %.4f\n\n",
-		ev.DelayMeanPs, ev.DelaySigmaPs, ev.YieldAtTmax, mc.TimingYield(o.TmaxPs))
+		ev.DelayMeanPs, ev.DelaySigmaPs, ev.YieldAtTmax, mcy)
 }

@@ -100,7 +100,7 @@ func TestFullPipelineCombinational(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y := mc.TimingYield(o.TmaxPs); y < o.YieldTarget-0.03 {
+	if y := mustYield(t, mc, o.TmaxPs); y < o.YieldTarget-0.03 {
 		t.Errorf("MC yield %g violates the shipped claim (target %g)", y, o.YieldTarget)
 	}
 	an, err := leakage.Exact(d)
@@ -172,7 +172,17 @@ func TestFullPipelineSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y := mc.TimingYield(o.TmaxPs); y < o.YieldTarget-0.03 {
+	if y := mustYield(t, mc, o.TmaxPs); y < o.YieldTarget-0.03 {
 		t.Errorf("MC clock-period yield %g far below target", y)
 	}
+}
+
+// mustYield unwraps TimingYield, failing the test on a malformed result.
+func mustYield(t *testing.T, r *montecarlo.Result, tmax float64) float64 {
+	t.Helper()
+	y, err := r.TimingYield(tmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
 }

@@ -185,7 +185,7 @@ func Run(d *core.Design, cfg Config, tmax float64, samples int, seed int64) (*Re
 	s := &die{dL: make([]float64, n), dV: make([]float64, n), ids: ids}
 	vm := d.Var
 	for k := 0; k < samples; k++ {
-		rng := rand.New(rand.NewSource(seed + int64(k)*7919))
+		rng := rand.New(rand.NewSource(stats.StreamSeed(seed, k)))
 		glob := vm.SampleGlobals(rng)
 		for _, id := range ids {
 			g := d.Circuit.Gate(id)

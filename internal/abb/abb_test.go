@@ -60,7 +60,7 @@ func TestRunRejectsBadArgs(t *testing.T) {
 
 func TestABBImprovesYieldAndTightensLeakage(t *testing.T) {
 	d, tmax := prepared(t)
-	res, err := abb.Run(d, abb.DefaultConfig(), tmax, 400, 5)
+	res, err := abb.Run(d, abb.DefaultConfig(), tmax, 400, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

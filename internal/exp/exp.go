@@ -30,6 +30,10 @@ type Context struct {
 	MCSamples int
 	// Seed drives Monte Carlo sampling.
 	Seed int64
+	// Sampling selects the Monte Carlo scheme (plain, LHS, or
+	// importance sampling; IS aims its proposal at each evaluation's
+	// Tmax).
+	Sampling montecarlo.Sampling
 	// TechParams overrides the technology (nil ⇒ the 100nm preset).
 	TechParams *tech.Params
 	// Scenario overrides the corner matrix used by the scenario table
@@ -186,9 +190,14 @@ func timingOf(d *core.Design, tmaxPs float64) (*ssta.Result, error) {
 	return e.Timing()
 }
 
-// mcOn runs the context's Monte Carlo on a design.
-func (ctx *Context) mcOn(d *core.Design) (*montecarlo.Result, error) {
-	return montecarlo.Run(d, montecarlo.Config{Samples: ctx.MCSamples, Seed: ctx.Seed})
+// mcOn runs the context's Monte Carlo on a design. tmaxPs is the
+// timing constraint of the evaluation — importance sampling aims its
+// proposal there (the other schemes ignore it).
+func (ctx *Context) mcOn(d *core.Design, tmaxPs float64) (*montecarlo.Result, error) {
+	return montecarlo.Run(d, montecarlo.Config{
+		Samples: ctx.MCSamples, Seed: ctx.Seed,
+		Sampling: ctx.Sampling, TmaxPs: tmaxPs,
+	})
 }
 
 // pct formats a ratio as a percentage string.

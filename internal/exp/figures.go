@@ -22,7 +22,7 @@ func (ctx *Context) Figure1() (*report.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := ctx.mcOn(pr.Base)
+	mc, err := ctx.mcOn(pr.Base, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
@@ -70,11 +70,11 @@ func (ctx *Context) Figure2() (*report.Series, error) {
 	if _, err := opt.Statistical(after, pr.Opt); err != nil {
 		return nil, err
 	}
-	mcB, err := ctx.mcOn(before)
+	mcB, err := ctx.mcOn(before, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
-	mcA, err := ctx.mcOn(after)
+	mcA, err := ctx.mcOn(after, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
@@ -195,11 +195,11 @@ func (ctx *Context) Figure5() (*report.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	mcD, err := ctx.mcOn(pair.Det)
+	mcD, err := ctx.mcOn(pair.Det, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
-	mcS, err := ctx.mcOn(pair.Stat)
+	mcS, err := ctx.mcOn(pair.Stat, pr.TmaxPs)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +208,15 @@ func (ctx *Context) Figure5() (*report.Series, error) {
 		"T/Tmax", "det yield (SSTA)", "det yield (MC)", "stat yield (SSTA)", "stat yield (MC)")
 	for _, f := range []float64{0.90, 0.94, 0.97, 1.0, 1.03, 1.06, 1.10} {
 		tq := f * pr.TmaxPs
-		if err := s.Add(f, srD.Yield(tq), mcD.TimingYield(tq), srS.Yield(tq), mcS.TimingYield(tq)); err != nil {
+		yD, err := mcD.TimingYield(tq)
+		if err != nil {
+			return nil, err
+		}
+		yS, err := mcS.TimingYield(tq)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Add(f, srD.Yield(tq), yD, srS.Yield(tq), yS); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/montecarlo"
+	"repro/internal/report"
+	"repro/internal/ssta"
+	"repro/internal/stats"
+	"repro/internal/yield"
+)
+
+// AblationISEfficiency (A6) measures the sample count each Monte
+// Carlo scheme needs to match the plain estimator's confidence on a
+// high-yield timing constraint: the full-budget plain run sets the
+// target standard error, LHS's requirement is extrapolated from its
+// empirical estimator spread at a pilot size, and importance sampling
+// grows its budget batch by batch until its own standard error meets
+// the target. The constraint is placed at the SSTA 99.9% point so the
+// failure probability is the rare event the ISLE proposal is built
+// for.
+func (ctx *Context) AblationISEfficiency() (*report.Table, error) {
+	t := report.NewTable(
+		"Ablation A6 — sample count at equal confidence: plain vs LHS vs importance sampling",
+		"circuit", "Tmax [ps]", "yield(SSTA)", "plain n", "plain SE",
+		"LHS n (est)", "IS n", "IS SE", "IS ESS", "plain/IS")
+	names := ctx.benchmarks()
+	if len(names) > 2 {
+		names = names[:2] // two circuits bound the runtime; the suite adds nothing
+	}
+	for _, name := range names {
+		pr, err := ctx.Prepare(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := ssta.Analyze(pr.Base)
+		if err != nil {
+			return nil, err
+		}
+		tmax := sr.Quantile(0.999) // true yield ≈ 99.9%: the regime plain MC struggles in
+		shift := sr.ISShift(tmax)
+
+		// Plain baseline at the full context budget sets the target SE.
+		plain, err := montecarlo.Run(pr.Base, montecarlo.Config{
+			Samples: ctx.MCSamples, Seed: ctx.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pEst, err := yield.TimingIS(plain, tmax)
+		if err != nil {
+			return nil, err
+		}
+		target := pEst.StdErr
+		if target <= 0 {
+			// The plain run saw no failures at all — score against the
+			// binomial SE of the SSTA failure probability instead.
+			pf := 1 - sr.Yield(tmax)
+			target = math.Sqrt(pf * (1 - pf) / float64(ctx.MCSamples))
+		}
+
+		// LHS: estimator spread over repeats at a pilot size,
+		// extrapolated by the 1/√n scaling of the standard error.
+		const lhsRepeats, lhsPilot = 8, 500
+		var ys []float64
+		for r := 0; r < lhsRepeats; r++ {
+			res, err := montecarlo.Run(pr.Base, montecarlo.Config{
+				Samples: lhsPilot, Seed: stats.StreamSeed(ctx.Seed, 1000+r),
+				Sampling: montecarlo.LatinHypercube})
+			if err != nil {
+				return nil, err
+			}
+			y, err := res.TimingYield(tmax)
+			if err != nil {
+				return nil, err
+			}
+			ys = append(ys, y)
+		}
+		nLHS := "-"
+		if se := stats.StdDev(ys); se > 0 && target > 0 {
+			nLHS = fmt.Sprintf("%.0f", lhsPilot*(se/target)*(se/target))
+		}
+
+		// IS: double the budget until its SE meets the target (the same
+		// grow-until-converged loop yield.AdaptiveTimingIS drives, but
+		// stopping on absolute rather than relative error so the
+		// comparison is at strictly equal confidence).
+		total := &montecarlo.Result{}
+		var isEst yield.ISEstimate
+		for batch, n := 0, 25; ; batch++ {
+			res, err := montecarlo.Run(pr.Base, montecarlo.Config{
+				Samples: n, Seed: stats.StreamSeed(ctx.Seed, batch),
+				Sampling: montecarlo.ImportanceSampling, TmaxPs: tmax, Shift: shift})
+			if err != nil {
+				return nil, err
+			}
+			if err := total.Append(res); err != nil {
+				return nil, err
+			}
+			if isEst, err = yield.TimingIS(total, tmax); err != nil {
+				return nil, err
+			}
+			have := len(total.DelaysPs)
+			if (isEst.StdErr > 0 && isEst.StdErr <= target) || have >= ctx.MCSamples {
+				break
+			}
+			n = have
+			if have+n > ctx.MCSamples {
+				n = ctx.MCSamples - have
+			}
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", tmax),
+			fmt.Sprintf("%.4f", sr.Yield(tmax)),
+			ctx.MCSamples, fmt.Sprintf("%.2e", target),
+			nLHS, isEst.Samples, fmt.Sprintf("%.2e", isEst.StdErr),
+			fmt.Sprintf("%.0f", isEst.ESS),
+			fmt.Sprintf("%.0fx", float64(ctx.MCSamples)/float64(isEst.Samples)))
+	}
+	t.AddNote("Tmax at the SSTA q99.9 of the unoptimized design; target SE = plain run's binomial SE")
+	t.AddNote("LHS n extrapolated from estimator spread over %d pilot runs; IS n measured by adaptive doubling", 8)
+	return t, nil
+}

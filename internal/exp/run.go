@@ -29,6 +29,7 @@ func (ctx *Context) Registry() map[string]func() (Renderer, error) {
 		"a3":     func() (Renderer, error) { return ctx.AblationLognormalSum() },
 		"a4":     func() (Renderer, error) { return ctx.AblationAnnealing() },
 		"a5":     func() (Renderer, error) { return ctx.AblationSampling() },
+		"a6":     func() (Renderer, error) { return ctx.AblationISEfficiency() },
 		"fig6":   func() (Renderer, error) { return ctx.ScalingFigure() },
 		"e1":     func() (Renderer, error) { return ctx.ExtensionABB() },
 		"e2":     func() (Renderer, error) { return ctx.ExtensionStandbyVector() },
@@ -43,7 +44,7 @@ func (ctx *Context) Registry() map[string]func() (Renderer, error) {
 func ExperimentIDs() []string {
 	return []string{"table1", "table2", "table3", "table4",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"a1", "a2", "a3", "a4", "a5", "e1", "e2", "e3", "e4", "e5", "s1"}
+		"a1", "a2", "a3", "a4", "a5", "a6", "e1", "e2", "e3", "e4", "e5", "s1"}
 }
 
 // Run executes one experiment by ID and renders it to ctx.Out.

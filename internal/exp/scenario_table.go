@@ -28,7 +28,8 @@ func DefaultScenarioSpec() *scenario.Spec {
 // optimizes against that directly.
 func (ctx *Context) ScenarioTable() (*report.Table, error) {
 	spec := ctx.Scenario
-	if spec.IsZero() {
+	canned := spec.IsZero()
+	if canned {
 		spec = DefaultScenarioSpec()
 	}
 	m, err := spec.Build()
@@ -45,6 +46,16 @@ func (ctx *Context) ScenarioTable() (*report.Table, error) {
 		pr, err := ctx.Prepare(name, nil)
 		if err != nil {
 			return nil, err
+		}
+		// The canned 4-corner envelope is ~45% slower at the hot/
+		// low-voltage corner, so the nominal-headroom constraint
+		// (1.3·Dmin) is structurally infeasible there. The canned
+		// table carries its own envelope headroom so the default run
+		// exercises a feasible multi-corner optimization; a matrix
+		// supplied via flags obeys -tmax-factor as given.
+		if f := 1.9; canned && ctx.TmaxFactor < f {
+			pr.TmaxPs = f * pr.DminPs
+			pr.Opt = opt.DefaultOptions(pr.TmaxPs)
 		}
 		pr.Opt.Scenario = m
 		d := pr.Base.Clone()
@@ -69,6 +80,9 @@ func (ctx *Context) ScenarioTable() (*report.Table, error) {
 			fmt.Sprintf("%v", res.Feasible), el.Round(time.Millisecond).String())
 	}
 	t.AddNote("one shared assignment per circuit; per-corner rows re-score it at each operating point")
+	if canned {
+		t.AddNote("Tmax = 1.90·Dmin: the hot/low-voltage corner needs envelope headroom the nominal 1.30 lacks")
+	}
 	t.AddNote("aggregate yield = min over corners; aggregate leakage = %s over corners", m.Aggregate)
 	return t, nil
 }

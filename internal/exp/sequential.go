@@ -36,7 +36,7 @@ func (ctx *Context) SequentialTable() (*report.Table, error) {
 				pr.DminPs, "infeasible", "-", "-", "-", "-")
 			continue
 		}
-		mcStat, err := ctx.mcOn(pair.Stat)
+		mcStat, err := ctx.mcOn(pair.Stat, pr.TmaxPs)
 		if err != nil {
 			return nil, err
 		}
@@ -46,10 +46,14 @@ func (ctx *Context) SequentialTable() (*report.Table, error) {
 				hvtFF++
 			}
 		}
+		yStat, err := mcStat.TimingYield(pr.TmaxPs)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(name, pr.Base.Circuit.NumGates(), pr.Base.Circuit.NumDffs(), pr.DminPs,
 			pair.DetEval.LeakPctNW, pair.StatRes.LeakPctNW,
 			improvement(pair.DetEval.LeakPctNW, pair.StatRes.LeakPctNW),
-			fmt.Sprintf("%.4f", mcStat.TimingYield(pr.TmaxPs)),
+			fmt.Sprintf("%.4f", yStat),
 			fmt.Sprintf("%d/%d", hvtFF, pair.Stat.Circuit.NumDffs()))
 	}
 	t.AddNote("Tmin = minimum clock period (worst FF-to-FF/PO path incl. setup) after greedy sizing")

@@ -102,19 +102,27 @@ func (ctx *Context) Table3() (*report.Table, error) {
 			t.AddRow(name, "infeasible", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
-		mcDet, err := ctx.mcOn(pair.Det)
+		mcDet, err := ctx.mcOn(pair.Det, pr.TmaxPs)
 		if err != nil {
 			return nil, err
 		}
-		mcStat, err := ctx.mcOn(pair.Stat)
+		mcStat, err := ctx.mcOn(pair.Stat, pr.TmaxPs)
+		if err != nil {
+			return nil, err
+		}
+		yDet, err := mcDet.TimingYield(pr.TmaxPs)
+		if err != nil {
+			return nil, err
+		}
+		yStat, err := mcStat.TimingYield(pr.TmaxPs)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(name,
 			pair.DetEval.LeakPctNW, pair.DetEval.LeakMeanNW,
-			fmt.Sprintf("%.4f", mcDet.TimingYield(pr.TmaxPs)),
+			fmt.Sprintf("%.4f", yDet),
 			pair.StatRes.LeakPctNW, pair.StatRes.LeakMeanNW,
-			fmt.Sprintf("%.4f", mcStat.TimingYield(pr.TmaxPs)),
+			fmt.Sprintf("%.4f", yStat),
 			improvement(pair.DetEval.LeakPctNW, pair.StatRes.LeakPctNW),
 			improvement(pair.DetEval.LeakMeanNW, pair.StatRes.LeakMeanNW))
 	}
@@ -147,7 +155,7 @@ func (ctx *Context) Table4() (*report.Table, error) {
 		}
 		analytic := time.Since(t0)
 		t1 := time.Now()
-		mc, err := ctx.mcOn(d)
+		mc, err := ctx.mcOn(d, pr.TmaxPs)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,180 @@
+package montecarlo_test
+
+import (
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/montecarlo"
+	"repro/internal/ssta"
+	"repro/internal/stats"
+)
+
+// TestISWeightsDeterministicAcrossWorkers: importance-sampled runs,
+// like plain ones, must be bit-for-bit reproducible regardless of the
+// worker pool size — every sample's mixture draw, shift, and weight
+// come from its own RNG stream.
+func TestISWeightsDeterministicAcrossWorkers(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmax := sr.Quantile(0.99)
+	cfg := montecarlo.Config{
+		Samples: 300, Seed: 7, Sampling: montecarlo.ImportanceSampling,
+		TmaxPs: tmax, MixtureLambda: 0.1,
+	}
+	a := cfg
+	a.Workers = 1
+	b := cfg
+	b.Workers = 8
+	ra, err := montecarlo.Run(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := montecarlo.Run(d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Weights == nil || rb.Weights == nil {
+		t.Fatal("IS run returned no weights")
+	}
+	for i := range ra.DelaysPs {
+		if ra.DelaysPs[i] != rb.DelaysPs[i] || ra.Weights[i] != rb.Weights[i] {
+			t.Fatalf("sample %d differs across worker counts", i)
+		}
+	}
+	// The defensive mixture bounds every weight by 1/λ.
+	for i, w := range ra.Weights {
+		if w < 0 || w > 1/0.1+1e-9 {
+			t.Fatalf("weight[%d] = %g outside [0, 1/λ]", i, w)
+		}
+	}
+}
+
+// TestZeroShiftReducesToPlain: a degenerate (zero) shift must produce
+// the exact PlainSampling stream with all weights 1 — no hidden
+// proposal draws may perturb the samples.
+func TestZeroShiftReducesToPlain(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := montecarlo.Run(d, montecarlo.Config{Samples: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := montecarlo.Run(d, montecarlo.Config{
+		Samples: 200, Seed: 11, Sampling: montecarlo.ImportanceSampling,
+		Shift: make([]float64, d.Var.NumPC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.Weights == nil {
+		t.Fatal("zero-shift IS run returned no weights")
+	}
+	for i := range plain.DelaysPs {
+		if plain.DelaysPs[i] != is.DelaysPs[i] || plain.LeaksNW[i] != is.LeaksNW[i] {
+			t.Fatalf("sample %d differs from PlainSampling", i)
+		}
+		if is.Weights[i] != 1 {
+			t.Fatalf("weight[%d] = %g, want exactly 1", i, is.Weights[i])
+		}
+	}
+	if ess := is.ESS(); ess != 200 {
+		t.Errorf("ESS %g, want 200 for unit weights", ess)
+	}
+}
+
+// TestISRejectsBadProposal covers the config validation of the IS
+// mode.
+func TestISRejectsBadProposal(t *testing.T) {
+	d, err := fixture.C17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := montecarlo.Run(d, montecarlo.Config{
+		Samples: 10, Seed: 1, Sampling: montecarlo.ImportanceSampling,
+	}); err == nil {
+		t.Error("IS without TmaxPs or Shift accepted")
+	}
+	if _, err := montecarlo.Run(d, montecarlo.Config{
+		Samples: 10, Seed: 1, Sampling: montecarlo.ImportanceSampling,
+		Shift: make([]float64, d.Var.NumPC+1),
+	}); err == nil {
+		t.Error("wrong-length Shift accepted")
+	}
+	if _, err := montecarlo.Run(d, montecarlo.Config{
+		Samples: 10, Seed: 1, Sampling: montecarlo.ImportanceSampling,
+		TmaxPs: 100, MixtureLambda: 1,
+	}); err == nil {
+		t.Error("MixtureLambda = 1 accepted")
+	}
+}
+
+// TestSeedStreamsDoNotAlias is the regression test for the old
+// additive per-sample seed derivation (seed + s·7919), under which
+// run (Seed=1) sample 1 and run (Seed=7920) sample 0 drew identical
+// dies.
+func TestSeedStreamsDoNotAlias(t *testing.T) {
+	if stats.StreamSeed(1, 1) == stats.StreamSeed(7920, 0) {
+		t.Fatal("StreamSeed(1,1) aliases StreamSeed(7920,0)")
+	}
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := montecarlo.Run(d, montecarlo.Config{Samples: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := montecarlo.Run(d, montecarlo.Config{Samples: 1, Seed: 7920})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DelaysPs[1] == b.DelaysPs[0] && a.LeaksNW[1] == b.LeaksNW[0] {
+		t.Error("(Seed=1, s=1) and (Seed=7920, s=0) drew identical dies")
+	}
+}
+
+// TestTimingYieldErrorsOnMalformed: an empty or inconsistent sample
+// set must error, not report yield 0.
+func TestTimingYieldErrorsOnMalformed(t *testing.T) {
+	empty := &montecarlo.Result{}
+	if _, err := empty.TimingYield(100); err == nil {
+		t.Error("empty result accepted")
+	}
+	bad := &montecarlo.Result{DelaysPs: []float64{1, 2}, LeaksNW: []float64{1}}
+	if _, err := bad.TimingYield(100); err == nil {
+		t.Error("length-mismatched result accepted")
+	}
+	badW := &montecarlo.Result{
+		DelaysPs: []float64{1, 2}, LeaksNW: []float64{1, 2}, Weights: []float64{1},
+	}
+	if _, err := badW.TimingYield(100); err == nil {
+		t.Error("weight-mismatched result accepted")
+	}
+}
+
+func TestParseSampling(t *testing.T) {
+	cases := map[string]montecarlo.Sampling{
+		"": montecarlo.PlainSampling, "plain": montecarlo.PlainSampling,
+		"lhs": montecarlo.LatinHypercube, "is": montecarlo.ImportanceSampling,
+	}
+	for in, want := range cases {
+		got, err := montecarlo.ParseSampling(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSampling(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := montecarlo.ParseSampling("sobol"); err == nil {
+		t.Error("unknown sampling token accepted")
+	}
+	if montecarlo.ImportanceSampling.String() != "is" {
+		t.Errorf("String() = %q", montecarlo.ImportanceSampling.String())
+	}
+}

@@ -4,11 +4,19 @@
 // models per sample, and runs a deterministic STA max per die. SSTA
 // and the lognormal leakage fit are validated against it (experiment
 // T4), and final optimizer results are scored with it (T3).
+//
+// Three sampling schemes share the evaluation loop: plain i.i.d.
+// sampling, Latin Hypercube stratification of the shared globals, and
+// importance sampling for timing-yield estimation (ISLE-style: the
+// globals are drawn from a mean-shifted proposal centered on the
+// dominant failure direction extracted from SSTA path sensitivities,
+// and every sample carries the likelihood ratio p/q as a weight).
 package montecarlo
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -18,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/ssta"
 	"repro/internal/sta"
 	"repro/internal/stats"
 	"repro/internal/tech"
@@ -25,7 +34,10 @@ import (
 
 // Instrumentation: sample volume and throughput (see internal/obs).
 // The counter/histogram pair gives scrapers a rate; the gauge is the
-// last completed run's samples/sec for at-a-glance dashboards.
+// last completed run's samples/sec for at-a-glance dashboards. The IS
+// pair tracks proposal quality: a collapsing effective sample size or
+// a fat weight-variance tail means the shift overshoots the failure
+// region and the estimator is coasting on a few dominant weights.
 var (
 	metSamples = obs.Default.Counter("statleak_mc_samples_total",
 		"Monte Carlo die samples evaluated")
@@ -35,6 +47,11 @@ var (
 		"wall-clock latency of completed Monte Carlo runs", nil)
 	metThroughput = obs.Default.Gauge("statleak_mc_samples_per_second",
 		"throughput of the last completed Monte Carlo run")
+	metISESS = obs.Default.Gauge("statleak_mc_is_ess",
+		"effective sample size of the last importance-sampled run")
+	metISWeightVar = obs.Default.Histogram("statleak_mc_is_weight_variance",
+		"variance of the likelihood-ratio weights per importance-sampled run",
+		[]float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 50, 100})
 )
 
 // Sampling selects the sampling scheme for the shared variation
@@ -50,7 +67,41 @@ const (
 	// terms remain i.i.d. — their dimension is too high to stratify,
 	// and they average out within a die anyway.
 	LatinHypercube
+	// ImportanceSampling draws the globals from a mean-shifted (and
+	// optionally defensive-mixture) proposal centered on the dominant
+	// timing-failure direction, and records per-sample likelihood-ratio
+	// weights in Result.Weights. The weighted estimators reach a given
+	// confidence on tail yields with orders of magnitude fewer samples
+	// than plain sampling; use Config.TmaxPs (or an explicit
+	// Config.Shift) to aim the proposal.
+	ImportanceSampling
 )
+
+// ParseSampling maps a CLI flag / request token to a Sampling mode:
+// "" or "plain" → PlainSampling, "lhs" → LatinHypercube, "is" →
+// ImportanceSampling.
+func ParseSampling(s string) (Sampling, error) {
+	switch s {
+	case "", "plain":
+		return PlainSampling, nil
+	case "lhs":
+		return LatinHypercube, nil
+	case "is":
+		return ImportanceSampling, nil
+	}
+	return PlainSampling, fmt.Errorf("montecarlo: unknown sampling %q (want plain, lhs, or is)", s)
+}
+
+// String returns the token ParseSampling accepts for the mode.
+func (s Sampling) String() string {
+	switch s {
+	case LatinHypercube:
+		return "lhs"
+	case ImportanceSampling:
+		return "is"
+	}
+	return "plain"
+}
 
 // Config controls a Monte Carlo run.
 type Config struct {
@@ -60,6 +111,22 @@ type Config struct {
 	// (0 ⇒ runtime.NumCPU()).
 	Workers  int
 	Sampling Sampling
+
+	// TmaxPs is the timing constraint the importance-sampling proposal
+	// targets. Used only by ImportanceSampling when Shift is nil: the
+	// shift is then derived from a fresh SSTA pass (the most probable
+	// failure point of the circuit-delay form, ssta.Result.ISShift).
+	TmaxPs float64
+	// Shift, when non-nil, is the explicit proposal mean in globals
+	// space (length d.Var.NumPC); it overrides the SSTA derivation. A
+	// zero vector degenerates to PlainSampling with all weights 1.
+	Shift []float64
+	// MixtureLambda λ ∈ [0,1) blends the nominal density into the
+	// proposal: q = λ·p + (1−λ)·N(shift, I). A small λ (e.g. 0.05)
+	// bounds every weight by 1/λ, defending the estimator against the
+	// rare nominal-region sample that a pure shifted proposal would
+	// weight enormously. 0 ⇒ pure shifted proposal.
+	MixtureLambda float64
 }
 
 // DefaultConfig returns the sample budget used by the experiments.
@@ -70,33 +137,215 @@ func DefaultConfig() Config { return Config{Samples: 2000, Seed: 1} }
 type Result struct {
 	DelaysPs []float64 // circuit delay per sample [ps]
 	LeaksNW  []float64 // total leakage per sample [nW]
+	// Weights holds the per-sample likelihood ratios p(die)/q(die) of
+	// an importance-sampled run (nil for unweighted runs). Weighted
+	// estimators fold them in automatically.
+	Weights []float64
 }
 
-// TimingYield returns the fraction of samples meeting tmax.
-func (r *Result) TimingYield(tmax float64) float64 {
-	if len(r.DelaysPs) == 0 {
-		return 0
+// check validates the sample set before estimation: the empty and
+// length-mismatched cases error rather than masquerade as a true zero
+// estimate (yield.FromMC applies the same rule).
+func (r *Result) check() error {
+	n := len(r.DelaysPs)
+	if n == 0 || n != len(r.LeaksNW) {
+		return fmt.Errorf("montecarlo: malformed result (%d delay, %d leak samples)",
+			n, len(r.LeaksNW))
 	}
-	ok := 0
-	for _, d := range r.DelaysPs {
-		if d <= tmax {
-			ok++
+	if r.Weights != nil && len(r.Weights) != n {
+		return fmt.Errorf("montecarlo: malformed result (%d samples, %d weights)",
+			n, len(r.Weights))
+	}
+	return nil
+}
+
+// TimingYield returns the estimated timing yield P(delay ≤ tmax): the
+// fraction of samples meeting tmax, or for a weighted (importance-
+// sampled) run the unbiased estimator 1 − (1/N)·Σ wᵢ·1{delayᵢ > tmax},
+// clamped to [0,1]. An empty or malformed sample set errors — a zero
+// estimate and no data are different answers.
+func (r *Result) TimingYield(tmax float64) (float64, error) {
+	if err := r.check(); err != nil {
+		return 0, err
+	}
+	if r.Weights == nil {
+		ok := 0
+		for _, d := range r.DelaysPs {
+			if d <= tmax {
+				ok++
+			}
+		}
+		return float64(ok) / float64(len(r.DelaysPs)), nil
+	}
+	fail := 0.0
+	for i, d := range r.DelaysPs {
+		if d > tmax {
+			fail += r.Weights[i]
 		}
 	}
-	return float64(ok) / float64(len(r.DelaysPs))
+	y := 1 - fail/float64(len(r.DelaysPs))
+	if y < 0 {
+		y = 0
+	}
+	if y > 1 {
+		y = 1
+	}
+	return y, nil
 }
 
-// DelaySummary summarizes the delay samples.
+// DelaySummary summarizes the raw delay samples. Under importance
+// sampling the raw samples follow the proposal, not the nominal
+// distribution — use the weight-aware quantile/mean accessors for
+// nominal-distribution estimates.
 func (r *Result) DelaySummary() stats.Summary { return stats.Summarize(r.DelaysPs) }
 
-// LeakSummary summarizes the leakage samples.
+// LeakSummary summarizes the raw leakage samples (see DelaySummary for
+// the importance-sampling caveat).
 func (r *Result) LeakSummary() stats.Summary { return stats.Summarize(r.LeaksNW) }
 
-// LeakQuantile returns the empirical p-quantile of total leakage.
-func (r *Result) LeakQuantile(p float64) float64 { return stats.Percentile(r.LeaksNW, p) }
+// LeakQuantile returns the p-quantile of total leakage under the
+// nominal distribution (weight-aware for importance-sampled runs).
+func (r *Result) LeakQuantile(p float64) float64 {
+	if r.Weights != nil {
+		return stats.WeightedQuantile(r.LeaksNW, r.Weights, p)
+	}
+	return stats.Percentile(r.LeaksNW, p)
+}
 
-// DelayQuantile returns the empirical p-quantile of circuit delay.
-func (r *Result) DelayQuantile(p float64) float64 { return stats.Percentile(r.DelaysPs, p) }
+// DelayQuantile returns the p-quantile of circuit delay under the
+// nominal distribution (weight-aware for importance-sampled runs).
+func (r *Result) DelayQuantile(p float64) float64 {
+	if r.Weights != nil {
+		return stats.WeightedQuantile(r.DelaysPs, r.Weights, p)
+	}
+	return stats.Percentile(r.DelaysPs, p)
+}
+
+// DelayMean returns the (weight-aware) mean circuit delay.
+func (r *Result) DelayMean() float64 {
+	if r.Weights != nil {
+		return stats.WeightedMean(r.DelaysPs, r.Weights)
+	}
+	return stats.Mean(r.DelaysPs)
+}
+
+// LeakMean returns the (weight-aware) mean total leakage.
+func (r *Result) LeakMean() float64 {
+	if r.Weights != nil {
+		return stats.WeightedMean(r.LeaksNW, r.Weights)
+	}
+	return stats.Mean(r.LeaksNW)
+}
+
+// ESS returns Kish's effective sample size of the weights — the
+// i.i.d.-equivalent sample count of the weighted estimators. Equals
+// len(samples) for unweighted runs.
+func (r *Result) ESS() float64 {
+	if r.Weights == nil {
+		return float64(len(r.DelaysPs))
+	}
+	return stats.EffectiveSampleSize(r.Weights)
+}
+
+// WeightVariance returns the sample variance of the likelihood-ratio
+// weights (0 for unweighted runs) — the proposal-quality signal behind
+// statleak_mc_is_weight_variance.
+func (r *Result) WeightVariance() float64 {
+	if r.Weights == nil {
+		return 0
+	}
+	return stats.Variance(r.Weights)
+}
+
+// Append concatenates another run's samples onto r (the adaptive
+// importance-sampling loop grows its sample set batch by batch). Both
+// results must agree on weightedness.
+func (r *Result) Append(o *Result) error {
+	if err := o.check(); err != nil {
+		return err
+	}
+	if (r.Weights == nil) != (o.Weights == nil) && len(r.DelaysPs) > 0 {
+		return fmt.Errorf("montecarlo: Append mixing weighted and unweighted results")
+	}
+	r.DelaysPs = append(r.DelaysPs, o.DelaysPs...)
+	r.LeaksNW = append(r.LeaksNW, o.LeaksNW...)
+	if o.Weights != nil {
+		r.Weights = append(r.Weights, o.Weights...)
+	}
+	return nil
+}
+
+// isProposal is the resolved importance-sampling proposal: a mean
+// shift in globals space plus an optional defensive nominal mixture.
+type isProposal struct {
+	shift  []float64
+	norm2  float64 // |shift|²
+	lambda float64
+}
+
+// perturb moves a nominal globals draw z to the proposal distribution
+// (in place) and returns the likelihood-ratio weight p(z')/q(z').
+func (p *isProposal) perturb(z []float64, rng *rand.Rand) float64 {
+	fromNominal := false
+	if p.lambda > 0 {
+		// The component choice costs one uniform per sample; it is part
+		// of the sample's own stream, so weights stay deterministic
+		// across worker counts.
+		fromNominal = rng.Float64() < p.lambda
+	}
+	if !fromNominal {
+		for k, s := range p.shift {
+			z[k] += s
+		}
+	}
+	// a = log φ(z−shift) − log φ(z) = shift·z − |shift|²/2, so
+	// w = φ(z)/(λ·φ(z) + (1−λ)·φ(z−shift)) = 1/(λ + (1−λ)·eᵃ).
+	// eᵃ overflowing to +Inf yields w = 0, the correct limit; for λ > 0
+	// every weight is bounded by 1/λ.
+	a := -p.norm2 / 2
+	for k, s := range p.shift {
+		a += s * z[k]
+	}
+	return 1 / (p.lambda + (1-p.lambda)*math.Exp(a))
+}
+
+// resolveProposal builds the IS proposal for a run: the explicit
+// Config.Shift when given, otherwise the SSTA failure-direction shift
+// for Config.TmaxPs. A zero shift returns nil — the run degenerates to
+// plain sampling (weights all 1).
+func resolveProposal(d *core.Design, cfg Config) (*isProposal, error) {
+	if cfg.MixtureLambda < 0 || cfg.MixtureLambda >= 1 {
+		return nil, fmt.Errorf("montecarlo: MixtureLambda %g outside [0,1)", cfg.MixtureLambda)
+	}
+	shift := cfg.Shift
+	if shift == nil {
+		if cfg.TmaxPs <= 0 {
+			return nil, fmt.Errorf("montecarlo: ImportanceSampling needs TmaxPs > 0 or an explicit Shift")
+		}
+		sr, err := ssta.Analyze(d)
+		if err != nil {
+			return nil, err
+		}
+		shift = sr.ISShift(cfg.TmaxPs)
+	}
+	if len(shift) != d.Var.NumPC {
+		return nil, fmt.Errorf("montecarlo: Shift dimension %d, want NumPC %d",
+			len(shift), d.Var.NumPC)
+	}
+	norm2 := 0.0
+	for _, v := range shift {
+		norm2 += v * v
+	}
+	if norm2 <= 0 {
+		return nil, nil // degenerate: exactly PlainSampling, weights 1
+	}
+	// Copy: the proposal is shared read-only across workers.
+	return &isProposal{
+		shift:  append([]float64(nil), shift...),
+		norm2:  norm2,
+		lambda: cfg.MixtureLambda,
+	}, nil
+}
 
 // Run executes the Monte Carlo. Results are deterministic for a given
 // (design, Config.Samples, Config.Seed) regardless of Workers: each
@@ -162,15 +411,29 @@ func RunCtx(ctx context.Context, d *core.Design, cfg Config) (*Result, error) {
 		lhs = latinHypercube(cfg.Samples, d.Var.NumPC, cfg.Seed)
 	}
 
+	// Resolve the importance-sampling proposal up front; a zero shift
+	// keeps prop nil, making the run bit-identical to PlainSampling
+	// except for the all-ones weight vector.
+	var prop *isProposal
+	res := &Result{
+		DelaysPs: make([]float64, cfg.Samples),
+		LeaksNW:  make([]float64, cfg.Samples),
+	}
+	if cfg.Sampling == ImportanceSampling {
+		if prop, err = resolveProposal(d, cfg); err != nil {
+			return nil, err
+		}
+		res.Weights = make([]float64, cfg.Samples)
+		for i := range res.Weights {
+			res.Weights[i] = 1
+		}
+	}
+
 	// Bounded fan-out: a fixed pool of workers pulls sample indices
 	// from a channel. Results stay deterministic for a given
 	// (Samples, Seed) regardless of worker count or scheduling, because
 	// every sample derives its whole RNG stream from its own index and
 	// writes only its own result slots.
-	res := &Result{
-		DelaysPs: make([]float64, cfg.Samples),
-		LeaksNW:  make([]float64, cfg.Samples),
-	}
 	t0 := time.Now()
 	var done atomic.Uint64
 	jobs := make(chan int, workers)
@@ -187,10 +450,13 @@ func RunCtx(ctx context.Context, d *core.Design, cfg Config) (*Result, error) {
 				if ctx.Err() != nil {
 					continue // drain the channel without evaluating
 				}
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
+				rng := rand.New(rand.NewSource(stats.StreamSeed(cfg.Seed, s)))
 				die := vm.SampleGlobals(rng)
 				if lhs != nil {
 					die.Z = lhs[s]
+				}
+				if prop != nil {
+					res.Weights[s] = prop.perturb(die.Z, rng)
 				}
 				leak := 0.0
 				for id := range gs {
@@ -230,6 +496,10 @@ feed:
 	metRunSeconds.Observe(elapsed)
 	if elapsed > 0 {
 		metThroughput.Set(float64(cfg.Samples) / elapsed)
+	}
+	if res.Weights != nil {
+		metISESS.Set(res.ESS())
+		metISWeightVar.Observe(res.WeightVariance())
 	}
 	return res, nil
 }

@@ -95,16 +95,16 @@ func TestYieldMonotoneInConstraint(t *testing.T) {
 	ds := res.DelaySummary()
 	prev := -1.0
 	for _, tmax := range []float64{ds.Min - 1, ds.Mean, ds.P95, ds.Max + 1} {
-		y := res.TimingYield(tmax)
+		y := mustYield(t, res, tmax)
 		if y < prev {
 			t.Fatalf("yield not monotone at tmax=%g", tmax)
 		}
 		prev = y
 	}
-	if res.TimingYield(ds.Min-1) != 0 {
+	if mustYield(t, res, ds.Min-1) != 0 {
 		t.Error("yield below min sample must be 0")
 	}
-	if res.TimingYield(ds.Max+1) != 1 {
+	if mustYield(t, res, ds.Max+1) != 1 {
 		t.Error("yield above max sample must be 1")
 	}
 }
@@ -124,4 +124,14 @@ func TestQuantileAccessors(t *testing.T) {
 	if res.LeakQuantile(0.99) < res.LeakQuantile(0.5) {
 		t.Error("leak quantiles not ordered")
 	}
+}
+
+// mustYield unwraps TimingYield, failing the test on a malformed result.
+func mustYield(t *testing.T, r *montecarlo.Result, tmax float64) float64 {
+	t.Helper()
+	y, err := r.TimingYield(tmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
 }

@@ -190,5 +190,5 @@ func AnnealCtx(ctx context.Context, d *core.Design, o Options, cfg AnnealConfig)
 	if bestState != nil {
 		d.CopyAssignmentFrom(bestState)
 	}
-	return finishStat(d, fam, o, res, start)
+	return finishStat(ctx, d, fam, o, res, start)
 }

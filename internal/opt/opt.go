@@ -82,6 +82,26 @@ type Options struct {
 	// right default: speculate when overlap can pay. Either way the
 	// optimization trajectory is bit-for-bit identical.
 	Search search.Config
+	// ISVerify, when non-nil, re-verifies the statistical optimizer's
+	// final design with importance-sampled Monte Carlo (adaptive
+	// budget: sample batches double until the failure probability's
+	// relative standard error reaches the target) and records the
+	// estimate in StatResult.ISYield. It is informational — the SSTA
+	// yield still gates feasibility, so enabling it never changes the
+	// optimization trajectory — and is skipped under a scenario matrix
+	// (the per-corner scoreboard already covers that case).
+	ISVerify *ISVerifyConfig
+}
+
+// ISVerifyConfig tunes the importance-sampled yield verification of
+// the statistical optimizer's final design. The zero value of every
+// field picks the default.
+type ISVerifyConfig struct {
+	Seed           int64   // MC seed (0 ⇒ 1)
+	InitialSamples int     // first batch size (0 ⇒ 200)
+	MaxSamples     int     // total sample cap (0 ⇒ 20000)
+	RelErrTarget   float64 // stop when rel. std. error ≤ target (0 ⇒ 0.10)
+	MixtureLambda  float64 // defensive nominal-mixture weight λ ∈ [0,1)
 }
 
 // Progress is a point-in-time optimizer snapshot for observers.
@@ -136,6 +156,16 @@ func (o Options) Validate() error {
 	if o.Scenario != nil {
 		if err := o.Scenario.Validate(); err != nil {
 			return err
+		}
+	}
+	if iv := o.ISVerify; iv != nil {
+		switch {
+		case iv.InitialSamples < 0 || iv.MaxSamples < 0:
+			return fmt.Errorf("opt: ISVerify sample counts must be >= 0")
+		case iv.RelErrTarget < 0 || iv.RelErrTarget >= 1:
+			return fmt.Errorf("opt: ISVerify.RelErrTarget %g outside [0,1)", iv.RelErrTarget)
+		case iv.MixtureLambda < 0 || iv.MixtureLambda >= 1:
+			return fmt.Errorf("opt: ISVerify.MixtureLambda %g outside [0,1)", iv.MixtureLambda)
 		}
 	}
 	return nil

@@ -186,7 +186,7 @@ func TestStatisticalMeetsYieldTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y := mc.TimingYield(o.TmaxPs); y < o.YieldTarget-0.03 {
+	if y := mustYield(t, mc, o.TmaxPs); y < o.YieldTarget-0.03 {
 		t.Errorf("MC yield %g far below target %g", y, o.YieldTarget)
 	}
 }
@@ -299,4 +299,14 @@ func TestRecoveryMovesAreMonotone(t *testing.T) {
 			t.Fatalf("gate %s invalid vth", g.Name)
 		}
 	}
+}
+
+// mustYield unwraps TimingYield, failing the test on a malformed result.
+func mustYield(t *testing.T, r *montecarlo.Result, tmax float64) float64 {
+	t.Helper()
+	y, err := r.TimingYield(tmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
 }

@@ -62,7 +62,7 @@ func TestSequentialOptimizationEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y := mc.TimingYield(o.TmaxPs); y < o.YieldTarget-0.03 {
+	if y := mustYield(t, mc, o.TmaxPs); y < o.YieldTarget-0.03 {
 		t.Errorf("MC yield %g far below target", y)
 	}
 }

@@ -10,10 +10,12 @@ import (
 	"repro/internal/engine"
 	"repro/internal/leakage"
 	"repro/internal/logic"
+	"repro/internal/montecarlo"
 	"repro/internal/search"
 	"repro/internal/ssta"
 	"repro/internal/stats"
 	"repro/internal/tech"
+	"repro/internal/yield"
 )
 
 // StatResult extends Result with the statistical end-state metrics.
@@ -24,6 +26,11 @@ type StatResult struct {
 	LeakPctNW    float64 // objective percentile of leakage on exit
 	DelayMeanPs  float64
 	DelaySigmaPs float64
+	// ISYield is the importance-sampled Monte Carlo verification of
+	// the final design's timing yield, present when Options.ISVerify
+	// was set (and the run was single-corner). Informational: SSTA
+	// yield gates Feasible either way.
+	ISYield *yield.ISEstimate
 }
 
 // Statistical runs the paper's optimizer. Phase A upsizes
@@ -87,7 +94,7 @@ func StatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult
 	if best != nil {
 		d.CopyAssignmentFrom(best)
 	}
-	return finishStat(d, fam, o, res, start)
+	return finishStat(ctx, d, fam, o, res, start)
 }
 
 // exactObjective returns the sweep-selection objective: the exact
@@ -555,7 +562,7 @@ func statCriticalPath(d *core.Design, sr *ssta.Result, kappa float64) []int {
 // overrides the headline yield/leakage with the family aggregates
 // (min-over-corners yield, matrix-aggregated leakage percentile); for
 // a 1×1 nominal matrix those equal the nominal values bit-for-bit.
-func finishStat(d *core.Design, fam *engine.Family, o Options, res *StatResult, start time.Time) (*StatResult, error) {
+func finishStat(ctx context.Context, d *core.Design, fam *engine.Family, o Options, res *StatResult, start time.Time) (*StatResult, error) {
 	sr, err := ssta.Analyze(d)
 	if err != nil {
 		return nil, err
@@ -590,6 +597,24 @@ func finishStat(d *core.Design, fam *engine.Family, o Options, res *StatResult, 
 		res.Feasible = minYield >= o.YieldTarget
 		res.LeakPctNW = fam.Aggregate(per)
 	}
+	if iv := o.ISVerify; iv != nil && fam == nil {
+		seed := iv.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		est, _, err := yield.AdaptiveTimingIS(ctx, d,
+			montecarlo.Config{Seed: seed, MixtureLambda: iv.MixtureLambda},
+			o.TmaxPs,
+			yield.ISBudget{
+				Initial:      iv.InitialSamples,
+				Max:          iv.MaxSamples,
+				RelErrTarget: iv.RelErrTarget,
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.ISYield = &est
+	}
 	res.Runtime = time.Since(start)
 	return res, nil
 }
@@ -600,6 +625,13 @@ func finishStat(d *core.Design, fam *engine.Family, o Options, res *StatResult, 
 // Options.Scenario set the scoreboard is corner-aggregated the same
 // way an optimizing run's would be.
 func EvaluateStatistical(d *core.Design, o Options) (*StatResult, error) {
+	//lint:ignore ctxflow uncancellable compatibility wrapper; callers needing deadlines use EvaluateStatisticalCtx
+	return EvaluateStatisticalCtx(context.Background(), d, o)
+}
+
+// EvaluateStatisticalCtx is EvaluateStatistical under a caller
+// context; the deadline bounds the optional ISVerify sampling pass.
+func EvaluateStatisticalCtx(ctx context.Context, d *core.Design, o Options) (*StatResult, error) {
 	res := &StatResult{}
 	var fam *engine.Family
 	if o.Scenario != nil {
@@ -609,5 +641,5 @@ func EvaluateStatistical(d *core.Design, o Options) (*StatResult, error) {
 			return nil, err
 		}
 	}
-	return finishStat(d, fam, o, res, time.Now())
+	return finishStat(ctx, d, fam, o, res, time.Now())
 }

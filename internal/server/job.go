@@ -26,6 +26,7 @@ import (
 	"repro/internal/tech"
 	"repro/internal/variation"
 	"repro/internal/verilog"
+	"repro/internal/yield"
 )
 
 // State is a job lifecycle state.
@@ -93,9 +94,13 @@ type Request struct {
 	Scenario *scenario.Spec `json:"scenario,omitempty"`
 
 	// MCSamples, when > 0, runs a final Monte Carlo scoreboard on the
-	// optimized design with the given seed (default seed 1).
-	MCSamples int   `json:"mc_samples,omitempty"`
-	Seed      int64 `json:"seed,omitempty"`
+	// optimized design with the given seed (default seed 1). Sampling
+	// selects the scheme: "plain" (default), "lhs", or "is"
+	// (importance sampling aimed at the resolved Tmax; the scoreboard
+	// then also reports ESS and the weighted yield's relative error).
+	MCSamples int    `json:"mc_samples,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Sampling  string `json:"sampling,omitempty"`
 
 	// TimeoutSec bounds one attempt's wall-clock runtime [s]; 0 defers
 	// to the server's Config.MaxJobTimeout, which also caps explicit
@@ -156,6 +161,9 @@ func (r *Request) Validate() error {
 	}
 	if r.MCSamples < 0 || r.MaxMoves < 0 {
 		return fmt.Errorf("mc_samples and max_moves must be >= 0")
+	}
+	if _, err := montecarlo.ParseSampling(r.Sampling); err != nil {
+		return err
 	}
 	if r.TimeoutSec < 0 {
 		return fmt.Errorf("timeout_sec must be >= 0")
@@ -257,6 +265,12 @@ type MCOutcome struct {
 	DelayMeanPs  float64 `json:"delay_mean_ps"`
 	DelayQEtaPs  float64 `json:"delay_q_eta_ps"`
 	YieldTargetQ float64 `json:"yield_target_q"`
+	// Importance-sampling diagnostics (present only for sampling "is"):
+	// the effective sample size of the likelihood-ratio weights and the
+	// relative standard error of the failure-probability estimate.
+	Sampling string  `json:"sampling,omitempty"`
+	ESS      float64 `json:"ess,omitempty"`
+	RelErr   float64 `json:"rel_err,omitempty"`
 }
 
 // DualOutcome carries the dual-optimizer-specific result fields.
@@ -547,19 +561,34 @@ func execute(ctx context.Context, job *Job) (*Outcome, error) {
 		if seed == 0 {
 			seed = 1
 		}
-		mc, err := montecarlo.RunCtx(ctx, d, montecarlo.Config{Samples: r.MCSamples, Seed: seed})
+		smode, err := montecarlo.ParseSampling(r.Sampling)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := montecarlo.RunCtx(ctx, d, montecarlo.Config{
+			Samples: r.MCSamples, Seed: seed, Sampling: smode, TmaxPs: tmax,
+		})
+		if err != nil {
+			return nil, err
+		}
+		est, err := yield.TimingIS(mc, tmax)
 		if err != nil {
 			return nil, err
 		}
 		eta := o.YieldTarget
 		out.MC = &MCOutcome{
 			Samples:      r.MCSamples,
-			TimingYield:  mc.TimingYield(tmax),
-			LeakMeanNW:   mc.LeakSummary().Mean,
+			TimingYield:  est.Yield,
+			LeakMeanNW:   mc.LeakMean(),
 			LeakQ99NW:    mc.LeakQuantile(0.99),
-			DelayMeanPs:  mc.DelaySummary().Mean,
+			DelayMeanPs:  mc.DelayMean(),
 			DelayQEtaPs:  mc.DelayQuantile(eta),
 			YieldTargetQ: eta,
+		}
+		if smode == montecarlo.ImportanceSampling {
+			out.MC.Sampling = smode.String()
+			out.MC.ESS = est.ESS
+			out.MC.RelErr = est.RelErr
 		}
 	}
 	return out, nil

@@ -166,7 +166,7 @@ func TestAnalyzeAgainstMonteCarlo(t *testing.T) {
 		for _, k := range []float64{-1, 0, 1, 2} {
 			tmax := ds.Mean + k*ds.StdDev
 			ay := sr.Yield(tmax)
-			my := mc.TimingYield(tmax)
+			my := mustYield(t, mc, tmax)
 			if math.Abs(ay-my) > 0.06 {
 				t.Errorf("%s: yield at mean%+gσ: SSTA %.3f vs MC %.3f", name, k, ay, my)
 			}
@@ -263,4 +263,14 @@ func TestGateDelayCanonicalStructure(t *testing.T) {
 			t.Errorf("%s: D2D delay sensitivity %g not positive", g.Name, c.Sens[0])
 		}
 	}
+}
+
+// mustYield unwraps TimingYield, failing the test on a malformed result.
+func mustYield(t *testing.T, r *montecarlo.Result, tmax float64) float64 {
+	t.Helper()
+	y, err := r.TimingYield(tmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
 }

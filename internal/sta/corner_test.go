@@ -59,7 +59,7 @@ func TestAnalyzeCornerPessimisticAndMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y := mc.TimingYield(c3.MaxDelay); y < 0.995 {
+	if y := mustYield(t, mc, c3.MaxDelay); y < 0.995 {
 		t.Errorf("3σ corner only covers %.3f of dies", y)
 	}
 	// But it is not absurdly above the distribution: the 1σ corner
@@ -69,7 +69,7 @@ func TestAnalyzeCornerPessimisticAndMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y := mc.TimingYield(c1.MaxDelay); y > 0.995 {
+	if y := mustYield(t, mc, c1.MaxDelay); y > 0.995 {
 		t.Errorf("1σ corner already covers %.3f of dies; corner scale off", y)
 	}
 }
@@ -94,4 +94,14 @@ func TestCornerScalesWithDecomposition(t *testing.T) {
 	if dL != 0 {
 		t.Errorf("independent-only corner ΔL = %g, want 0", dL)
 	}
+}
+
+// mustYield unwraps TimingYield, failing the test on a malformed result.
+func mustYield(t *testing.T, r *montecarlo.Result, tmax float64) float64 {
+	t.Helper()
+	y, err := r.TimingYield(tmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
 }

@@ -1,0 +1,28 @@
+package stats
+
+// SplitMix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix on 64 bits (Steele/Lea/Flood, "Fast splittable
+// pseudorandom number generators"). Every bit of the input affects
+// every bit of the output, which is what makes it safe to derive many
+// independent RNG streams from nearby (seed, index) pairs.
+func SplitMix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// StreamSeed derives the seed of the i-th RNG stream of a run: the
+// i-th output of a SplitMix64 sequence whose state is itself seeded by
+// mixing the run seed. The two mixing layers mean neither nearby run
+// seeds nor nearby stream indices produce related streams — in
+// particular, unlike the old additive seed+i·prime derivation, no
+// (seed, i) pair aliases another run's (seed', i') stream (the additive
+// form made (1, 1) and (7920, 0) draw identical dies).
+func StreamSeed(seed int64, i int) int64 {
+	state := SplitMix64(uint64(seed)) + uint64(i)*0x9e3779b97f4a7c15
+	return int64(SplitMix64(state))
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Weighted sample statistics for importance-sampled Monte Carlo
+// post-processing: every sample i carries a likelihood-ratio weight
+// w_i = p(x_i)/q(x_i) from drawing under a proposal q instead of the
+// nominal density p. Estimators here are the standard self-normalized
+// forms — ratios of weighted sums — which are consistent for any
+// positive weights and reduce exactly to the unweighted estimators
+// when all weights are equal.
+
+// WeightedMean returns Σw·x / Σw (0 for an empty sample or zero total
+// weight).
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return 0
+	}
+	var sx, sw float64
+	for i, x := range xs {
+		sx += ws[i] * x
+		sw += ws[i]
+	}
+	if sw <= 0 {
+		return 0
+	}
+	return sx / sw
+}
+
+// WeightedQuantile returns the p∈[0,1] quantile of the weighted
+// empirical distribution: samples are sorted and the quantile is read
+// off the normalized cumulative weight, interpolating linearly between
+// adjacent samples (the weighted analogue of PercentileSorted). NaN for
+// an empty sample or non-positive total weight.
+func WeightedQuantile(xs, ws []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ws) {
+		return math.NaN()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	if total <= 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return xs[idx[0]]
+	}
+	if p >= 1 {
+		return xs[idx[n-1]]
+	}
+	// Midpoint rule: sample i sits at the center of its cumulative-
+	// weight interval, with linear interpolation between centers — the
+	// weighted analogue of interpolating between order statistics.
+	target := p * total
+	var cum float64
+	prevX, prevC := xs[idx[0]], 0.0
+	for k, i := range idx {
+		c := cum + ws[i]/2
+		if c >= target {
+			if k == 0 || EqExact(c, prevC) {
+				return xs[i]
+			}
+			frac := (target - prevC) / (c - prevC)
+			return prevX + frac*(xs[i]-prevX)
+		}
+		cum += ws[i]
+		prevX, prevC = xs[i], c
+	}
+	return xs[idx[n-1]]
+}
+
+// EffectiveSampleSize returns Kish's effective sample size
+// (Σw)²/Σw² — the number of i.i.d. unweighted samples that would carry
+// the same estimator variance. Equal weights give ESS = n; a few
+// dominant weights collapse it toward 1. Zero for an empty or
+// all-zero-weight sample.
+func EffectiveSampleSize(ws []float64) float64 {
+	var s, s2 float64
+	for _, w := range ws {
+		s += w
+		s2 += w * w
+	}
+	if s2 <= 0 {
+		return 0
+	}
+	return s * s / s2
+}

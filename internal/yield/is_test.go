@@ -1,0 +1,150 @@
+package yield_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/montecarlo"
+	"repro/internal/ssta"
+	"repro/internal/yield"
+)
+
+// TestISAgreesWithPlainWithinCI is the headline correctness property:
+// on ISCAS fixtures, the importance-sampled yield estimate and a
+// plain Monte Carlo estimate of the same quantity must agree within
+// their combined confidence interval — the likelihood-ratio weighting
+// is exact, so any systematic gap is a bug, not proposal error.
+func TestISAgreesWithPlainWithinCI(t *testing.T) {
+	for _, name := range []string{"s432", "s880"} {
+		d, err := fixture.Suite(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := ssta.Analyze(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A moderately rare failure: plain MC still resolves it at this
+		// budget, so both estimators carry meaningful error bars.
+		tmax := sr.Quantile(0.98)
+		plain, err := montecarlo.Run(d, montecarlo.Config{Samples: 4000, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pEst, err := yield.TimingIS(plain, tmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, err := montecarlo.Run(d, montecarlo.Config{
+			Samples: 800, Seed: 22, Sampling: montecarlo.ImportanceSampling,
+			TmaxPs: tmax, MixtureLambda: 0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iEst, err := yield.TimingIS(is, tmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 3σ of the combined standard error: a deterministic bound that
+		// still fails reliably on any systematic bias.
+		tol := 3 * math.Sqrt(pEst.StdErr*pEst.StdErr+iEst.StdErr*iEst.StdErr)
+		if diff := math.Abs(pEst.Yield - iEst.Yield); diff > tol {
+			t.Errorf("%s: plain %.5f vs IS %.5f differ by %.5f > %.5f",
+				name, pEst.Yield, iEst.Yield, diff, tol)
+		}
+		if iEst.ESS <= 0 || iEst.ESS > float64(iEst.Samples) {
+			t.Errorf("%s: ESS %g outside (0, %d]", name, iEst.ESS, iEst.Samples)
+		}
+	}
+}
+
+// TestTimingISUnweightedMatchesPlainYield: on an unweighted result the
+// estimator must reduce to the sample fraction with the binomial
+// standard error.
+func TestTimingISUnweightedMatchesPlainYield(t *testing.T) {
+	res := &montecarlo.Result{
+		DelaysPs: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		LeaksNW:  make([]float64, 10),
+	}
+	est, err := yield.TimingIS(res, 8.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Yield != 0.8 || est.FailProb != 0.2 {
+		t.Fatalf("yield %g fail %g, want 0.8 / 0.2", est.Yield, est.FailProb)
+	}
+	y, err := res.TimingYield(8.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != est.Yield {
+		t.Errorf("TimingYield %g != TimingIS yield %g", y, est.Yield)
+	}
+	if est.StdErr <= 0 {
+		t.Error("zero standard error on a mixed sample")
+	}
+	if est.RelErr != est.StdErr/est.FailProb {
+		t.Error("RelErr inconsistent with StdErr/FailProb")
+	}
+}
+
+// TestTimingISErrors: empty and malformed sample sets error.
+func TestTimingISErrors(t *testing.T) {
+	if _, err := yield.TimingIS(&montecarlo.Result{}, 1); err == nil {
+		t.Error("empty result accepted")
+	}
+	bad := &montecarlo.Result{
+		DelaysPs: []float64{1, 2}, LeaksNW: []float64{1, 2}, Weights: []float64{1},
+	}
+	if _, err := yield.TimingIS(bad, 1); err == nil {
+		t.Error("weight-mismatched result accepted")
+	}
+}
+
+// TestAdaptiveTimingIS: the adaptive loop terminates, respects the
+// sample cap, and lands close to the SSTA yield on a fixture whose
+// delay is near-Gaussian.
+func TestAdaptiveTimingIS(t *testing.T) {
+	d, err := fixture.Suite("s432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := ssta.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmax := sr.Quantile(0.995)
+	est, res, err := yield.AdaptiveTimingIS(context.Background(), d,
+		montecarlo.Config{Seed: 5}, tmax,
+		yield.ISBudget{Initial: 100, Max: 4000, RelErrTarget: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != len(res.DelaysPs) {
+		t.Fatalf("estimate says %d samples, result holds %d", est.Samples, len(res.DelaysPs))
+	}
+	if est.Samples > 4000 {
+		t.Fatalf("sample cap exceeded: %d", est.Samples)
+	}
+	if est.RelErr > 0.2 && est.Samples < 4000 {
+		t.Fatalf("stopped early: RelErr %g at %d samples", est.RelErr, est.Samples)
+	}
+	// The estimate should be in the right neighbourhood of the SSTA
+	// yield (they disagree only by SSTA approximation error).
+	if math.Abs(est.Yield-0.995) > 0.02 {
+		t.Errorf("adaptive IS yield %g far from SSTA 0.995", est.Yield)
+	}
+	// Determinism: the same seed reproduces the estimate exactly.
+	est2, _, err := yield.AdaptiveTimingIS(context.Background(), d,
+		montecarlo.Config{Seed: 5}, tmax,
+		yield.ISBudget{Initial: 100, Max: 4000, RelErrTarget: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2 != est {
+		t.Error("adaptive IS not deterministic for a fixed seed")
+	}
+}

@@ -13,13 +13,44 @@ import (
 	"repro/internal/ssta"
 )
 
-// Timing returns the SSTA-estimated timing yield P(delay ≤ tmax).
-func Timing(d *core.Design, tmax float64) (float64, error) {
+// Analyzed wraps one SSTA pass so multiple yield queries (point
+// yields, curves, IS proposal shifts) share the analysis instead of
+// each re-running it.
+type Analyzed struct {
+	R *ssta.Result
+}
+
+// Analyze runs SSTA once and returns the shared analyzed result.
+func Analyze(d *core.Design) (*Analyzed, error) {
 	r, err := ssta.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzed{R: r}, nil
+}
+
+// Timing returns the SSTA-estimated timing yield P(delay ≤ tmax).
+func (a *Analyzed) Timing(tmax float64) float64 { return a.R.Yield(tmax) }
+
+// Curve samples the SSTA timing-yield curve Yield(T) at the given
+// constraints.
+func (a *Analyzed) Curve(tmaxs []float64) []float64 {
+	out := make([]float64, len(tmaxs))
+	for i, t := range tmaxs {
+		out[i] = a.R.Yield(t)
+	}
+	return out
+}
+
+// Timing returns the SSTA-estimated timing yield P(delay ≤ tmax).
+// Callers needing both a point yield and a curve (or an IS shift)
+// should Analyze once and query the shared result instead.
+func Timing(d *core.Design, tmax float64) (float64, error) {
+	a, err := Analyze(d)
 	if err != nil {
 		return 0, err
 	}
-	return r.Yield(tmax), nil
+	return a.Timing(tmax), nil
 }
 
 // Leakage returns the analytic leakage yield P(total leakage ≤
@@ -43,45 +74,63 @@ type MC struct {
 	Samples  int
 }
 
-// FromMC computes yields from an existing Monte Carlo result.
+// FromMC computes yields from an existing Monte Carlo result. For an
+// importance-sampled result the per-sample likelihood-ratio weights
+// fold in automatically (failure indicators are weighted, estimates
+// clamped to [0,1]).
 func FromMC(res *montecarlo.Result, tmaxPs, leakBudgetNW float64) (MC, error) {
 	n := len(res.DelaysPs)
 	if n == 0 || n != len(res.LeaksNW) {
 		return MC{}, fmt.Errorf("yield: malformed MC result (%d delay, %d leak samples)",
 			n, len(res.LeaksNW))
 	}
-	var ok, okT, okL int
+	if res.Weights != nil && len(res.Weights) != n {
+		return MC{}, fmt.Errorf("yield: malformed MC result (%d samples, %d weights)",
+			n, len(res.Weights))
+	}
+	var failT, failL, failAny float64
 	for i := 0; i < n; i++ {
-		t := res.DelaysPs[i] <= tmaxPs
-		l := res.LeaksNW[i] <= leakBudgetNW
+		w := 1.0
+		if res.Weights != nil {
+			w = res.Weights[i]
+		}
+		t := res.DelaysPs[i] > tmaxPs
+		l := res.LeaksNW[i] > leakBudgetNW
 		if t {
-			okT++
+			failT += w
 		}
 		if l {
-			okL++
+			failL += w
 		}
-		if t && l {
-			ok++
+		if t || l {
+			failAny += w
 		}
 	}
+	inv := 1 / float64(n)
 	return MC{
-		Timing:   float64(okT) / float64(n),
-		Leakage:  float64(okL) / float64(n),
-		Combined: float64(ok) / float64(n),
+		Timing:   clamp01(1 - failT*inv),
+		Leakage:  clamp01(1 - failL*inv),
+		Combined: clamp01(1 - failAny*inv),
 		Samples:  n,
 	}, nil
 }
 
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
 // Curve samples the SSTA timing-yield curve Yield(T) at the given
-// constraints.
+// constraints (see Analyzed to share the pass with other queries).
 func Curve(d *core.Design, tmaxs []float64) ([]float64, error) {
-	r, err := ssta.Analyze(d)
+	a, err := Analyze(d)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(tmaxs))
-	for i, t := range tmaxs {
-		out[i] = r.Yield(t)
-	}
-	return out, nil
+	return a.Curve(tmaxs), nil
 }
